@@ -1,0 +1,34 @@
+# MPI4Spark (Go reproduction) — common targets.
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./... 2>&1 | tee test_output.txt
+
+race:
+	go test -race -short ./...
+
+bench:
+	go test -bench=. -benchmem -benchtime=3x ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every figure/table of the paper's evaluation.
+experiments:
+	go run ./cmd/experiments -exp all -md
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/terasort
+	go run ./examples/nweight
+	go run ./examples/mlpipeline
+	go run ./examples/faulttolerance
+
+clean:
+	rm -f test_output.txt bench_output.txt

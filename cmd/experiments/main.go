@@ -1,0 +1,132 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation (Figures 8-12 plus the §VII headline numbers) on the simulated
+// cluster and prints them as text or Markdown.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig10 -bench GroupBy -workers 2,4,8 -bytes-per-worker 8388608
+//	experiments -exp headline -md
+//	experiments -list-systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpi4spark/internal/harness"
+	"mpi4spark/internal/metrics"
+)
+
+func main() {
+	var (
+		exp            = flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|fig12c|headline|all")
+		bench          = flag.String("bench", "GroupBy", "OHB benchmark for fig10/fig11: GroupBy|SortBy")
+		workers        = flag.Int("workers", 4, "base worker count (fig9/fig12)")
+		workerCounts   = flag.String("worker-counts", "2,4,8", "scaling sweep worker counts (fig10/fig11)")
+		bytesPerWorker = flag.Int64("bytes-per-worker", 8<<20, "weak-scaling data per worker (bytes)")
+		totalBytes     = flag.Int64("total-bytes", 32<<20, "strong-scaling fixed data volume (bytes)")
+		slots          = flag.Int("slots", 2, "task slots per worker")
+		seed           = flag.Int64("seed", 2022, "deterministic data seed")
+		markdown       = flag.Bool("md", false, "emit Markdown instead of aligned text")
+		listSystems    = flag.Bool("list-systems", false, "print the Table III system profiles and exit")
+	)
+	flag.Parse()
+
+	if *listSystems {
+		t := &metrics.Table{
+			Title:   "Table III: system profiles",
+			Columns: []string{"System", "PaperCores/Node", "ScaledSlots", "Fabric", "RDMA-Spark"},
+		}
+		for _, s := range harness.Systems() {
+			t.AddRow(s.Name, s.PaperCoresPerNode, s.SlotsPerWorker, s.NewModel().Name, s.SupportsRDMA)
+		}
+		emit(t, *markdown)
+		return
+	}
+
+	var counts []int
+	for _, part := range strings.Split(*workerCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -worker-counts entry %q", part))
+		}
+		counts = append(counts, n)
+	}
+	o := harness.Options{
+		Workers:        *workers,
+		WorkerCounts:   counts,
+		BytesPerWorker: *bytesPerWorker,
+		TotalBytes:     *totalBytes,
+		SlotsPerWorker: *slots,
+		Seed:           *seed,
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig8":
+			_, t, err := harness.RunFig8(nil)
+			check(err)
+			emit(t, *markdown)
+		case "fig9":
+			t, err := harness.RunFig9(o)
+			check(err)
+			emit(t, *markdown)
+		case "fig10":
+			_, t, err := harness.RunFig10(o, *bench)
+			check(err)
+			emit(t, *markdown)
+		case "fig11":
+			_, t, err := harness.RunFig11(o, *bench)
+			check(err)
+			emit(t, *markdown)
+		case "fig12":
+			_, t, err := harness.RunFig12(o, harness.Frontera,
+				[]string{"LDA", "SVM", "GMM", "Repartition", "NWeight", "TeraSort"})
+			check(err)
+			emit(t, *markdown)
+		case "fig12c":
+			_, t, err := harness.RunFig12(o, harness.Stampede2,
+				[]string{"LR", "GMM", "SVM", "Repartition"})
+			check(err)
+			emit(t, *markdown)
+		case "headline":
+			_, t, err := harness.RunHeadline(o)
+			check(err)
+			emit(t, *markdown)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig12c", "headline"} {
+			fmt.Fprintf(os.Stderr, "running %s...\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func emit(t *metrics.Table, markdown bool) {
+	if markdown {
+		t.WriteMarkdown(os.Stdout)
+	} else {
+		t.WriteText(os.Stdout)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command hibench runs one Intel HiBench workload on a chosen system
+// profile and communication backend.
+//
+// Usage:
+//
+//	hibench -workload LDA -backend mpi -workers 4
+//	hibench -workload TeraSort -backend vanilla -rows 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpi4spark/internal/harness"
+	"mpi4spark/internal/hibench"
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/spark"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "LDA", "LDA|SVM|LR|GMM|Repartition|TeraSort|NWeight")
+		backendName = flag.String("backend", "mpi", "vanilla|rdma|mpi|mpi-basic")
+		systemName  = flag.String("system", "Frontera", "Frontera|Stampede2|InternalCluster")
+		workers     = flag.Int("workers", 4, "number of Spark workers")
+		slots       = flag.Int("slots", 2, "task slots per worker")
+		rows        = flag.Int("rows", 2000, "records (or docs/vertices) per partition")
+		iterations  = flag.Int("iterations", 3, "ML iteration count")
+		seed        = flag.Int64("seed", 2022, "data seed")
+		markdown    = flag.Bool("md", false, "emit Markdown")
+	)
+	flag.Parse()
+
+	var backend spark.Backend
+	switch *backendName {
+	case "vanilla", "ipoib":
+		backend = spark.BackendVanilla
+	case "rdma":
+		backend = spark.BackendRDMA
+	case "mpi", "mpi-opt":
+		backend = spark.BackendMPIOpt
+	case "mpi-basic":
+		backend = spark.BackendMPIBasic
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backendName))
+	}
+	var system harness.System
+	found := false
+	for _, s := range harness.Systems() {
+		if s.Name == *systemName {
+			system, found = s, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown system %q", *systemName))
+	}
+
+	cl, err := harness.BuildCluster(harness.ClusterSpec{
+		System:         system,
+		Workers:        *workers,
+		Backend:        backend,
+		SlotsPerWorker: *slots,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	parts := *workers * *slots
+	var res *hibench.Result
+	switch *workload {
+	case "LDA":
+		res, err = hibench.RunLDA(cl.Ctx, hibench.LDAConfig{
+			Parts: parts, DocsPer: *rows / 10, Vocab: 2000, WordsPer: 40, K: 8,
+			Iterations: *iterations, Seed: *seed,
+		})
+	case "SVM":
+		res, err = hibench.RunSVM(cl.Ctx, hibench.MLConfig{
+			Parts: parts, PerPart: *rows, Dim: 32, Iterations: *iterations, Seed: *seed,
+		})
+	case "LR":
+		res, err = hibench.RunLogisticRegression(cl.Ctx, hibench.MLConfig{
+			Parts: parts, PerPart: *rows, Dim: 32, Iterations: *iterations, Seed: *seed,
+		})
+	case "GMM":
+		res, err = hibench.RunGMM(cl.Ctx, hibench.GMMConfig{
+			Parts: parts, PerPart: *rows / 2, Dim: 16, K: 4, Iterations: *iterations, Seed: *seed,
+		})
+	case "Repartition":
+		res, err = hibench.RunRepartition(cl.Ctx, hibench.RepartitionConfig{
+			Parts: parts, RowsPer: *rows, ValueSize: 200, OutParts: parts, Seed: *seed,
+		})
+	case "TeraSort":
+		res, err = hibench.RunTeraSort(cl.Ctx, hibench.TeraSortConfig{
+			Parts: parts, RowsPer: *rows, Seed: *seed,
+		})
+	case "NWeight":
+		res, err = hibench.RunNWeight(cl.Ctx, hibench.NWeightConfig{
+			Parts: parts, Vertices: int64(parts * *rows / 8), Degree: 8, Hops: 2, Seed: *seed,
+		})
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("HiBench %s: %s, %d workers x %d slots, %s backend",
+			res.Name, system.Name, *workers, *slots, backend),
+		Columns: []string{"Stage", "Duration", "ShuffleBytes"},
+	}
+	for _, s := range res.Stages {
+		t.AddRow(s.Name, s.Duration(), s.ShuffleBytes)
+	}
+	t.AddRow("TOTAL", res.Total, "")
+	t.Notes = append(t.Notes, fmt.Sprintf("workload metric: %g", res.Metric))
+	if *markdown {
+		t.WriteMarkdown(os.Stdout)
+	} else {
+		t.WriteText(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hibench:", err)
+	os.Exit(1)
+}

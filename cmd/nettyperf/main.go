@@ -1,0 +1,49 @@
+// Command nettyperf runs the Figure 8 Netty-level ping-pong benchmark:
+// average half-round-trip latency of the NIO transport versus the
+// Netty+MPI transport on the internal-cluster (IB-EDR) profile.
+//
+// Usage:
+//
+//	nettyperf
+//	nettyperf -sizes 4,1024,65536,4194304 -md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpi4spark/internal/harness"
+)
+
+func main() {
+	var (
+		sizesFlag = flag.String("sizes", "", "comma-separated message sizes in bytes (default: the paper's sweep)")
+		markdown  = flag.Bool("md", false, "emit Markdown")
+	)
+	flag.Parse()
+
+	var sizes []int
+	if *sizesFlag != "" {
+		for _, p := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "nettyperf: bad size %q\n", p)
+				os.Exit(1)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	_, table, err := harness.RunFig8(sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nettyperf:", err)
+		os.Exit(1)
+	}
+	if *markdown {
+		table.WriteMarkdown(os.Stdout)
+	} else {
+		table.WriteText(os.Stdout)
+	}
+}

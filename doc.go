@@ -1,0 +1,13 @@
+// Package mpi4spark is a Go reproduction of "Spark Meets MPI: Towards
+// High-Performance Communication Framework for Spark using MPI" (Al-Attar
+// et al., IEEE CLUSTER 2022).
+//
+// The repository builds the paper's full stack from scratch on a simulated
+// HPC fabric: a miniature Apache Spark (internal/spark), a Netty-style
+// event-driven framework (internal/netty), an MPI library with dynamic
+// process management (internal/mpi), the RDMA-Spark baseline's UCR runtime
+// (internal/rdma, internal/ucr), and the paper's contribution — the
+// MPI-backed Netty transports and the mpiexec-style launcher — in
+// internal/core. The benchmarks in bench_test.go regenerate every figure
+// of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package mpi4spark

@@ -1,0 +1,48 @@
+// ML pipeline example: logistic regression trained with distributed
+// gradient descent (the HiBench LR workload) on all three communication
+// backends, printing the loss curve and per-backend virtual training time.
+//
+//	go run ./examples/mlpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpi4spark/internal/harness"
+	"mpi4spark/internal/hibench"
+	"mpi4spark/internal/spark"
+)
+
+func main() {
+	cfg := hibench.MLConfig{
+		Parts:      8,
+		PerPart:    3000,
+		Dim:        32,
+		Iterations: 5,
+		StepSize:   0.5,
+		Seed:       7,
+	}
+
+	backends := []spark.Backend{spark.BackendVanilla, spark.BackendRDMA, spark.BackendMPIOpt}
+	for _, backend := range backends {
+		cl, err := harness.BuildCluster(harness.ClusterSpec{
+			System:         harness.Frontera,
+			Workers:        4,
+			Backend:        backend,
+			SlotsPerWorker: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hibench.RunLogisticRegression(cl.Ctx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s final log-loss %.4f  training time %v (virtual, %d stages)\n",
+			backend, res.Metric, res.Total.AsDuration(), len(res.Stages))
+		cl.Close()
+	}
+	fmt.Println("\nIdentical losses across backends confirm the communication")
+	fmt.Println("substitution is semantically transparent — only time differs.")
+}

@@ -1,0 +1,40 @@
+// TeraSort example: globally sorting 100-byte records across the cluster,
+// comparing Vanilla Spark against MPI4Spark on the same data.
+//
+//	go run ./examples/terasort
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpi4spark/internal/harness"
+	"mpi4spark/internal/hibench"
+	"mpi4spark/internal/spark"
+)
+
+func main() {
+	cfg := hibench.TeraSortConfig{Parts: 8, RowsPer: 20000, Seed: 42}
+
+	for _, backend := range []spark.Backend{spark.BackendVanilla, spark.BackendMPIOpt} {
+		cl, err := harness.BuildCluster(harness.ClusterSpec{
+			System:         harness.Frontera,
+			Workers:        4,
+			Backend:        backend,
+			SlotsPerWorker: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hibench.RunTeraSort(cl.Ctx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s sorted %.0f records in %v (virtual)\n",
+			backend, res.Metric, res.Total.AsDuration())
+		for _, s := range res.Stages {
+			fmt.Printf("  %-22s %v\n", s.Name, s.Duration().AsDuration())
+		}
+		cl.Close()
+	}
+}

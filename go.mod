@@ -1,0 +1,3 @@
+module mpi4spark
+
+go 1.22

@@ -1,0 +1,39 @@
+package bytebuf
+
+import "testing"
+
+func BenchmarkWriteReadUint64(b *testing.B) {
+	buf := New(1 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		for j := 0; j < 64; j++ {
+			buf.WriteUint64(uint64(j))
+		}
+		for j := 0; j < 64; j++ {
+			if _, err := buf.ReadUint64(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPoolGetRelease(b *testing.B) {
+	p := NewPool(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Get(4 << 10)
+		buf.WriteBytes([]byte("payload"))
+		p.Release(buf)
+	}
+}
+
+func BenchmarkEncodeFrame64KB(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		buf := New(4 + len(payload))
+		buf.WriteUint32(uint32(len(payload)))
+		buf.WriteBytes(payload)
+	}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/mpi"
+	"mpi4spark/internal/spark"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/vtime"
+)
+
+func newClusterFabric(workers int) (*fabric.Fabric, []*fabric.Node, *fabric.Node, *fabric.Node) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	wn := make([]*fabric.Node, workers)
+	for i := range wn {
+		wn[i] = f.AddNode(fmt.Sprintf("w%d", i))
+	}
+	return f, wn, f.AddNode("master"), f.AddNode("driver")
+}
+
+func launch(t *testing.T, workers, slots int, design Design) (*MPICluster, *fabric.Fabric) {
+	t.Helper()
+	f, wn, mn, dn := newClusterFabric(workers)
+	sparkCfg := spark.DefaultConfig()
+	sparkCfg.DefaultParallelism = workers * slots
+	cl, err := LaunchMPICluster(ClusterConfig{
+		Fabric:         f,
+		WorkerNodes:    wn,
+		MasterNode:     mn,
+		DriverNode:     dn,
+		SlotsPerWorker: slots,
+		Design:         design,
+		CPU:            spark.DefaultCPUModel(),
+		Spark:          sparkCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl, f
+}
+
+func TestIdentityResolve(t *testing.T) {
+	f := fabric.New(fabric.NewZeroModel())
+	n0, n1 := f.AddNode("a"), f.AddNode("b")
+	w := mpi.NewWorld(f)
+	parents := w.InitWorld([]*fabric.Node{n0, n1})
+
+	id := &Identity{Kind: KindParent, World: parents.Handle(0)}
+	r, err := id.resolve(KindParent, 1)
+	if err != nil || r.rank != 1 || r.h.Comm() != parents {
+		t.Fatalf("same-kind resolve: %+v, %v", r, err)
+	}
+	if _, err := id.resolve(KindChild, 0); err == nil {
+		t.Fatal("resolve to child without intercomm succeeded")
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if DesignBasic.String() != "MPI4Spark-Basic" || DesignOptimized.String() != "MPI4Spark-Optimized" {
+		t.Fatal("design names drifted")
+	}
+}
+
+// twoProcEnvs builds two MPI-mode RPC environments on distinct nodes in
+// one MPI world (ranks 0 and 1).
+func twoProcEnvs(t *testing.T, design Design) (*rpc.Env, *rpc.Env, *fabric.Fabric) {
+	t.Helper()
+	f := fabric.New(fabric.NewIBHDRModel())
+	n0, n1 := f.AddNode("n0"), f.AddNode("n1")
+	w := mpi.NewWorld(f)
+	comm := w.InitWorld([]*fabric.Node{n0, n1})
+	id0 := &Identity{Kind: KindParent, World: comm.Handle(0)}
+	id1 := &Identity{Kind: KindParent, World: comm.Handle(1)}
+	e0, _, err := NewMPIEnv("env0", n0, "rpc", id0, design, rpc.EnvConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _, err := NewMPIEnv("env1", n1, "rpc", id1, design, rpc.EnvConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e0.Shutdown(); e1.Shutdown() })
+	return e0, e1, f
+}
+
+func TestBasicDesignRPC(t *testing.T) {
+	e0, e1, f := twoProcEnvs(t, DesignBasic)
+	if err := e1.RegisterEndpoint("Echo", func(c *rpc.Call) {
+		c.Reply(append([]byte("via-mpi:"), c.Payload...), c.VT)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+	resp, vt, err := e0.Ask(e1.Addr(), "Echo", []byte("hello"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "via-mpi:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if vt <= 0 {
+		t.Fatal("free RPC")
+	}
+	st := f.Stats()
+	if st.MessagesFor(fabric.MPIEager) == 0 {
+		t.Fatal("basic design sent no MPI messages")
+	}
+	// Socket traffic is establishment-only: two handshake frames.
+	if st.MessagesFor(fabric.TCP) > 2 {
+		t.Fatalf("basic design leaked %d TCP messages", st.MessagesFor(fabric.TCP))
+	}
+}
+
+func TestBasicDesignLargeFrameUsesRendezvous(t *testing.T) {
+	e0, e1, f := twoProcEnvs(t, DesignBasic)
+	big := make([]byte, 512<<10)
+	e1.RegisterChunkResolver(func(id string) ([]byte, bool) { return big, true })
+	f.ResetStats()
+	data, _, err := e0.FetchChunk(e1.Addr(), "blk", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(big) {
+		t.Fatalf("len = %d", len(data))
+	}
+	if f.Stats().MessagesFor(fabric.MPIRendezvous) == 0 {
+		t.Fatal("large frame did not use rendezvous")
+	}
+}
+
+func TestOptimizedDesignSplitsHeaderAndBody(t *testing.T) {
+	e0, e1, f := twoProcEnvs(t, DesignOptimized)
+	body := make([]byte, 256<<10)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	e1.RegisterChunkResolver(func(id string) ([]byte, bool) { return body, true })
+	f.ResetStats()
+	data, vt, err := e0.FetchChunk(e1.Addr(), "shuffle_0_0_0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(body) || data[1000] != byte(1000%256) {
+		t.Fatal("body corrupted crossing MPI")
+	}
+	if vt <= 0 {
+		t.Fatal("free fetch")
+	}
+	st := f.Stats()
+	// The body must ride MPI; the header and request stay on TCP.
+	mpiBytes := st.BytesFor(fabric.MPIEager) + st.BytesFor(fabric.MPIRendezvous)
+	if mpiBytes < int64(len(body)) {
+		t.Fatalf("MPI carried %d bytes, want >= %d", mpiBytes, len(body))
+	}
+	if st.MessagesFor(fabric.TCP) == 0 {
+		t.Fatal("optimized design sent no socket frames (header path missing)")
+	}
+	if st.BytesFor(fabric.TCP) > int64(len(body))/10 {
+		t.Fatalf("TCP carried %d bytes — body leaked onto the socket", st.BytesFor(fabric.TCP))
+	}
+}
+
+func TestOptimizedStreamResponseViaMPI(t *testing.T) {
+	e0, e1, f := twoProcEnvs(t, DesignOptimized)
+	jar := make([]byte, 128<<10)
+	e1.RegisterStreamResolver(func(id string) ([]byte, bool) {
+		if id == "jar:app" {
+			return jar, true
+		}
+		return nil, false
+	})
+	f.ResetStats()
+	data, _, err := e0.FetchStream(e1.Addr(), "jar:app", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(jar) {
+		t.Fatalf("len = %d", len(data))
+	}
+	mpiBytes := f.Stats().BytesFor(fabric.MPIRendezvous) + f.Stats().BytesFor(fabric.MPIEager)
+	if mpiBytes < int64(len(jar)) {
+		t.Fatal("stream body did not travel over MPI")
+	}
+}
+
+func TestOptimizedRPCControlStaysOnSocket(t *testing.T) {
+	e0, e1, f := twoProcEnvs(t, DesignOptimized)
+	if err := e1.RegisterEndpoint("E", func(c *rpc.Call) { c.Reply([]byte("ok"), c.VT) }); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+	if _, _, err := e0.Ask(e1.Addr(), "E", []byte("ctl"), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.MessagesFor(fabric.MPIEager)+st.MessagesFor(fabric.MPIRendezvous) != 0 {
+		t.Fatal("control RPC leaked onto MPI in the optimized design")
+	}
+}
+
+func TestLaunchClusterOptimized(t *testing.T) {
+	cl, f := launch(t, 2, 2, DesignOptimized)
+	if len(cl.Executors) != 2 {
+		t.Fatalf("executors = %d", len(cl.Executors))
+	}
+	// Run the canonical shuffle job.
+	pairs := spark.Generate(cl.Ctx, 4, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+		out := make([]spark.Pair[int64, int64], 200)
+		for i := range out {
+			out[i] = spark.Pair[int64, int64]{K: int64(i % 20), V: int64(part)}
+		}
+		tc.ChargeRecords(len(out), 16*len(out))
+		return out
+	})
+	conf := spark.ShuffleConf[int64, int64]{
+		Codec: spark.PairCodec[int64, int64]{Key: spark.Int64Codec{}, Val: spark.Int64Codec{}},
+		Ops:   spark.Int64Key{},
+		Parts: 4,
+	}
+	f.ResetStats()
+	grouped := spark.GroupByKey(pairs, conf)
+	n, err := spark.Count(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("groups = %d", n)
+	}
+	st := f.Stats()
+	if st.BytesFor(fabric.MPIEager)+st.BytesFor(fabric.MPIRendezvous) == 0 {
+		t.Fatal("shuffle moved no bytes over MPI")
+	}
+	stages := cl.Ctx.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+}
+
+func TestLaunchClusterBasic(t *testing.T) {
+	cl, f := launch(t, 2, 1, DesignBasic)
+	pairs := spark.Generate(cl.Ctx, 2, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+		out := make([]spark.Pair[int64, int64], 50)
+		for i := range out {
+			out[i] = spark.Pair[int64, int64]{K: int64(i % 5), V: 1}
+		}
+		return out
+	})
+	conf := spark.ShuffleConf[int64, int64]{
+		Codec: spark.PairCodec[int64, int64]{Key: spark.Int64Codec{}, Val: spark.Int64Codec{}},
+		Ops:   spark.Int64Key{},
+		Parts: 2,
+	}
+	f.ResetStats()
+	sums := spark.ReduceByKey(pairs, conf, func(a, b int64) int64 { return a + b })
+	out, err := spark.Collect(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("keys = %d", len(out))
+	}
+	for _, p := range out {
+		if p.V != 20 {
+			t.Fatalf("key %d = %d, want 20", p.K, p.V)
+		}
+	}
+	st := f.Stats()
+	if st.MessagesFor(fabric.MPIEager) == 0 {
+		t.Fatal("basic cluster moved nothing over MPI")
+	}
+	// Polling must have run.
+	var polls int64
+	for _, s := range cl.States() {
+		polls += s.Polls()
+	}
+	if polls == 0 {
+		t.Fatal("no Iprobe polls recorded in the Basic design")
+	}
+}
+
+func TestBasicInflationSlowsCompute(t *testing.T) {
+	run := func(design Design) vtime.Stamp {
+		f, wn, mn, dn := newClusterFabric(2)
+		sparkCfg := spark.DefaultConfig()
+		cl, err := LaunchMPICluster(ClusterConfig{
+			Fabric: f, WorkerNodes: wn, MasterNode: mn, DriverNode: dn,
+			SlotsPerWorker: 1, Design: design,
+			CPU: spark.DefaultCPUModel(), Spark: sparkCfg,
+			BasicComputeInflation: 3.0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		heavy := spark.Generate(cl.Ctx, 2, func(part int, tc *spark.TaskContext) []int64 {
+			tc.Charge(50 * time.Millisecond) // pure compute
+			return []int64{1}
+		})
+		if _, err := spark.Count(heavy); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Ctx.Clock()
+	}
+	opt := run(DesignOptimized)
+	basic := run(DesignBasic)
+	ratio := float64(basic) / float64(opt)
+	if ratio < 2.0 || ratio > 4.0 {
+		t.Fatalf("basic/opt compute ratio = %.2f, want ~3 (inflation)", ratio)
+	}
+}
+
+func TestLaunchNoWorkersFails(t *testing.T) {
+	f := fabric.New(fabric.NewZeroModel())
+	_, err := LaunchMPICluster(ClusterConfig{Fabric: f})
+	if err == nil {
+		t.Fatal("launch with no workers succeeded")
+	}
+}
+
+func TestBidirectionalChannelsBothDesigns(t *testing.T) {
+	for _, d := range []Design{DesignBasic, DesignOptimized} {
+		t.Run(d.String(), func(t *testing.T) {
+			e0, e1, _ := twoProcEnvs(t, d)
+			if err := e0.RegisterEndpoint("A", func(c *rpc.Call) { c.Reply([]byte("fromA"), c.VT) }); err != nil {
+				t.Fatal(err)
+			}
+			if err := e1.RegisterEndpoint("B", func(c *rpc.Call) { c.Reply([]byte("fromB"), c.VT) }); err != nil {
+				t.Fatal(err)
+			}
+			// Both directions dial independently: two channels, four tags.
+			r1, _, err := e0.Ask(e1.Addr(), "B", nil, 0)
+			if err != nil || string(r1) != "fromB" {
+				t.Fatalf("0->1: %q %v", r1, err)
+			}
+			r2, _, err := e1.Ask(e0.Addr(), "A", nil, 0)
+			if err != nil || string(r2) != "fromA" {
+				t.Fatalf("1->0: %q %v", r2, err)
+			}
+		})
+	}
+}
+
+func TestOptimizedSmallBodyStillViaMPI(t *testing.T) {
+	// Even eager-sized bodies take the MPI path in the optimized design
+	// (the paper routes every ChunkFetchSuccess body over MPI).
+	e0, e1, f := twoProcEnvs(t, DesignOptimized)
+	e1.RegisterChunkResolver(func(id string) ([]byte, bool) { return []byte("tiny"), true })
+	f.ResetStats()
+	data, _, err := e0.FetchChunk(e1.Addr(), "b", 0)
+	if err != nil || string(data) != "tiny" {
+		t.Fatalf("fetch = %q, %v", data, err)
+	}
+	if f.Stats().MessagesFor(fabric.MPIEager) == 0 {
+		t.Fatal("small body did not use the MPI eager path")
+	}
+}
+
+func TestManyConcurrentFetchesOptimized(t *testing.T) {
+	e0, e1, _ := twoProcEnvs(t, DesignOptimized)
+	blocks := map[string][]byte{}
+	for i := 0; i < 32; i++ {
+		blocks[fmt.Sprintf("b%d", i)] = bytes.Repeat([]byte{byte(i)}, 10_000+i)
+	}
+	e1.RegisterChunkResolver(func(id string) ([]byte, bool) {
+		d, ok := blocks[id]
+		return d, ok
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("b%d", i)
+			data, _, err := e0.FetchChunk(e1.Addr(), id, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(data, blocks[id]) {
+				errs <- fmt.Errorf("block %s corrupted", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/mpi"
+	"mpi4spark/internal/spark"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/vtime"
+)
+
+// MasterEndpoint is the master process's registration endpoint.
+const MasterEndpoint = "Master"
+
+// ClusterConfig describes an MPI4Spark cluster launch (the Fig. 3 flow).
+type ClusterConfig struct {
+	// Fabric is the simulated interconnect; the launcher adds no nodes.
+	Fabric *fabric.Fabric
+	// WorkerNodes hosts one worker process (and its executors) each.
+	WorkerNodes []*fabric.Node
+	// MasterNode and DriverNode host the master and driver wrapper ranks.
+	MasterNode, DriverNode *fabric.Node
+	// SlotsPerWorker is the executor core count (spark_executor_cores).
+	SlotsPerWorker int
+	// ExecutorsPerWorker is the number of executors spawned per worker.
+	ExecutorsPerWorker int
+	// Design selects Basic or Optimized.
+	Design Design
+	// CPU is the compute model for tasks.
+	CPU spark.CPUModel
+	// Spark is the SparkContext configuration.
+	Spark spark.Config
+	// BasicComputeInflation scales task compute cost under the Basic
+	// design, modeling selector-poll CPU starvation (>1; default 2.5).
+	BasicComputeInflation float64
+	// Env is the base RPC configuration (zero value selects defaults).
+	Env rpc.EnvConfig
+}
+
+// MPICluster is a launched MPI4Spark cluster.
+type MPICluster struct {
+	World     *mpi.World
+	Ctx       *spark.Context
+	Executors []*spark.Executor
+	DriverEnv *rpc.Env
+	MasterEnv *rpc.Env
+
+	envs   []*rpc.Env
+	states []*EnvState
+	mu     sync.Mutex
+}
+
+// States returns the per-environment MPI4Spark runtimes (diagnostics).
+func (c *MPICluster) States() []*EnvState { return c.states }
+
+// Close shuts every executor and environment down.
+func (c *MPICluster) Close() {
+	for _, e := range c.Executors {
+		e.Close()
+	}
+	for _, env := range c.envs {
+		env.Shutdown()
+	}
+}
+
+func (c *MPICluster) addEnv(env *rpc.Env, st *EnvState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.envs = append(c.envs, env)
+	c.states = append(c.states, st)
+}
+
+// NewMPIEnv builds an RPC environment whose channels speak the given
+// MPI4Spark design. The returned EnvState is already attached (polling
+// installed for Basic).
+func NewMPIEnv(name string, node *fabric.Node, port string, id *Identity, design Design, base rpc.EnvConfig) (*rpc.Env, *EnvState, error) {
+	st := NewEnvState(id, design)
+	cfg := base
+	if cfg.Protocol == 0 && cfg.DispatchCost == 0 {
+		cfg = rpc.DefaultEnvConfig()
+	}
+	cfg.Hooks = st
+	if design == DesignBasic {
+		cfg.TransportFactory = st.BasicTransportFactory()
+		cfg.NonBlockingSelect = true
+	}
+	env, err := rpc.NewEnv(name, node, port, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if design == DesignBasic {
+		st.AttachPolling(env)
+	}
+	return env, st, nil
+}
+
+// LaunchMPICluster performs the paper's Fig. 3 startup: wrapper ranks
+// 0..W-1 become workers, rank W the master, rank W+1 the driver; workers
+// exchange executor launch arguments with MPI_Allgather and everyone
+// collectively spawns the executors with MPI_Comm_spawn_multiple. The
+// returned cluster holds a ready SparkContext whose communication follows
+// cfg.Design.
+func LaunchMPICluster(cfg ClusterConfig) (*MPICluster, error) {
+	w := len(cfg.WorkerNodes)
+	if w == 0 {
+		return nil, fmt.Errorf("core: no worker nodes")
+	}
+	if cfg.ExecutorsPerWorker < 1 {
+		cfg.ExecutorsPerWorker = 1
+	}
+	if cfg.SlotsPerWorker < 1 {
+		cfg.SlotsPerWorker = 1
+	}
+	if cfg.BasicComputeInflation <= 0 {
+		cfg.BasicComputeInflation = 2.5
+	}
+
+	world := mpi.NewWorld(cfg.Fabric)
+	nodes := append(append([]*fabric.Node(nil), cfg.WorkerNodes...), cfg.MasterNode, cfg.DriverNode)
+	worldComm := world.InitWorld(nodes)
+	masterRank, driverRank := w, w+1
+
+	cluster := &MPICluster{World: world}
+	var launchMu sync.Mutex
+	var launchVT vtime.Stamp
+	observeLaunch := func(vt vtime.Stamp) {
+		launchMu.Lock()
+		if vt > launchVT {
+			launchVT = vt
+		}
+		launchMu.Unlock()
+	}
+	numExec := w * cfg.ExecutorsPerWorker
+	execCh := make(chan *spark.Executor, numExec)
+	masterReady := make(chan *rpc.Env, 1)
+	errCh := make(chan error, w+2)
+
+	// executorMain is the program DPM spawns (Fig. 3 Step C).
+	executorMain := func(child *mpi.ChildContext) {
+		execIdx := child.World.Rank()
+		workerIdx := execIdx / cfg.ExecutorsPerWorker
+		node := cfg.WorkerNodes[workerIdx]
+		id := &Identity{Kind: KindChild, World: child.World, Inter: child.Parent}
+		env, st, err := NewMPIEnv(
+			fmt.Sprintf("exec-%d", execIdx), node,
+			fmt.Sprintf("exec-rpc-%d", execIdx), id, cfg.Design, cfg.Env)
+		if err != nil {
+			errCh <- fmt.Errorf("core: executor %d env: %w", execIdx, err)
+			return
+		}
+		cluster.addEnv(env, st)
+		var inflate func() float64
+		if cfg.Design == DesignBasic {
+			f := cfg.BasicComputeInflation
+			inflate = func() float64 { return f }
+		}
+		e := spark.NewExecutor(spark.ExecutorConfig{
+			ID:      fmt.Sprintf("exec-%d", execIdx),
+			Node:    node,
+			Env:     env,
+			Slots:   cfg.SlotsPerWorker / cfg.ExecutorsPerWorker,
+			CPU:     cfg.CPU,
+			Inflate: inflate,
+		})
+		execCh <- e
+	}
+
+	var wg sync.WaitGroup
+	ctxCh := make(chan *spark.Context, 1)
+
+	// Step A: W+2 wrapper processes launched under mpiexec.
+	for r := 0; r < w+2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			h := worldComm.Handle(rank)
+			id := &Identity{Kind: KindParent, World: h}
+			vt := h.Barrier(0) // wrappers synchronize before forking roles
+
+			// Step B: fork the Spark role for this rank.
+			switch {
+			case rank < w: // worker
+				env, st, err := NewMPIEnv(
+					fmt.Sprintf("worker-%d", rank), cfg.WorkerNodes[rank],
+					"worker-rpc", id, cfg.Design, cfg.Env)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				cluster.addEnv(env, st)
+				// Executor launch arguments for every worker; each rank
+				// builds the same list, and SpawnMultiple allgathers the
+				// argument blobs before the collective spawn.
+				specs := make([]mpi.SpawnSpec, 0, w)
+				for wi, wn := range cfg.WorkerNodes {
+					specs = append(specs, mpi.SpawnSpec{
+						Node:  wn,
+						Count: cfg.ExecutorsPerWorker,
+						Args:  []byte(fmt.Sprintf("worker=%d;slots=%d", wi, cfg.SlotsPerWorker)),
+						Main:  executorMain,
+					})
+				}
+				// Step C: collective spawn (includes the Allgather of
+				// executor arguments inside SpawnMultiple).
+				inter, vt2 := h.SpawnMultiple(specs, 0, vt)
+				id.Inter = inter
+				// Register with the master over Spark RPC.
+				master := <-masterReady
+				masterReady <- master
+				_, regVT, err := env.Ask(master.Addr(), MasterEndpoint,
+					[]byte(fmt.Sprintf("register-worker:%d", rank)), vt2)
+				if err != nil {
+					errCh <- fmt.Errorf("core: worker %d registration: %w", rank, err)
+					return
+				}
+				observeLaunch(regVT)
+			case rank == masterRank:
+				env, st, err := NewMPIEnv("master", cfg.MasterNode, "master-rpc", id, cfg.Design, cfg.Env)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				cluster.addEnv(env, st)
+				registered := 0
+				var mu sync.Mutex
+				if err := env.RegisterEndpoint(MasterEndpoint, func(c *rpc.Call) {
+					mu.Lock()
+					registered++
+					mu.Unlock()
+					c.Reply([]byte("ack"), c.VT.Add(time.Microsecond))
+				}); err != nil {
+					errCh <- err
+					return
+				}
+				cluster.MasterEnv = env
+				masterReady <- env
+				inter, _ := h.SpawnMultiple(nil, 0, vt)
+				id.Inter = inter
+			case rank == driverRank:
+				env, st, err := NewMPIEnv("driver", cfg.DriverNode, "driver-rpc", id, cfg.Design, cfg.Env)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				cluster.addEnv(env, st)
+				cluster.DriverEnv = env
+				inter, spawnVT := h.SpawnMultiple(nil, 0, vt)
+				id.Inter = inter
+				observeLaunch(spawnVT)
+
+				// Collect executors and build the SparkContext.
+				execs := make([]*spark.Executor, 0, numExec)
+				for i := 0; i < numExec; i++ {
+					execs = append(execs, <-execCh)
+				}
+				sctx, err := spark.NewContext(cfg.Spark, env, execs)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				cluster.Executors = execs
+				ctxCh <- sctx
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		cluster.Close()
+		return nil, err
+	default:
+	}
+	select {
+	case cluster.Ctx = <-ctxCh:
+	default:
+		cluster.Close()
+		return nil, fmt.Errorf("core: driver did not produce a SparkContext")
+	}
+	// Virtual time is global: jobs begin after the launch completed.
+	cluster.Ctx.AdvanceClock(launchVT)
+	return cluster, nil
+}

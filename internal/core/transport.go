@@ -1,0 +1,390 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/mpi"
+	"mpi4spark/internal/netty"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/vtime"
+)
+
+// Design selects which MPI4Spark variant an environment runs.
+type Design int
+
+const (
+	// DesignBasic is MPI4Spark-Basic (§IV-D): all frames over MPI, selector
+	// polls with MPI_Iprobe.
+	DesignBasic Design = iota
+	// DesignOptimized is MPI4Spark-Optimized (§IV-E): shuffle bodies over
+	// MPI, everything else on the socket.
+	DesignOptimized
+)
+
+// String names the design.
+func (d Design) String() string {
+	if d == DesignBasic {
+		return "MPI4Spark-Basic"
+	}
+	return "MPI4Spark-Optimized"
+}
+
+// handshakeMagic is the first byte of a connection-establishment frame.
+const handshakeMagic byte = 0xFF
+
+// mpiChannel is the per-channel MPI state created by the handshake.
+type mpiChannel struct {
+	ch *netty.Channel
+
+	mu       sync.Mutex
+	ready    bool
+	route    route
+	sendTag  int
+	recvTag  int
+	pending  []pendingWrite
+	isClient bool
+}
+
+type pendingWrite struct {
+	data []byte
+	vt   vtime.Stamp
+}
+
+func (mc *mpiChannel) snapshotRoute() (route, int, int, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.route, mc.sendTag, mc.recvTag, mc.ready
+}
+
+// EnvState is the per-environment MPI4Spark runtime: the process identity,
+// the design in use, and the set of MPI-mapped channels the Basic poller
+// walks. It implements rpc.PipelineHooks.
+type EnvState struct {
+	id     *Identity
+	design Design
+
+	mu    sync.Mutex
+	chans []*mpiChannel
+
+	// pollClock serializes the Basic design's message reception: a single
+	// selector thread runs the non-blocking select + Iprobe loop, so every
+	// inbound frame pays the poll handling cost on one clock — the paper's
+	// CPU-starvation bottleneck, seen from the network side.
+	pollClock vtime.Clock
+
+	// PollRecvCost is the per-frame cost charged on the polling selector
+	// (Iprobe scans across channels plus the blocking receive).
+	PollRecvCost time.Duration
+
+	// polls counts Iprobe poll iterations (diagnostics/ablation).
+	polls int64
+}
+
+// DefaultPollRecvCost is the default per-frame selector handling cost in
+// the Basic design. It is deliberately small: the dominant Basic-design
+// penalty is compute starvation (BasicComputeInflation in the launcher);
+// this constant only serializes reception through the single polling
+// selector under bursts.
+const DefaultPollRecvCost = 5 * time.Microsecond
+
+// NewEnvState builds the runtime for one environment.
+func NewEnvState(id *Identity, design Design) *EnvState {
+	return &EnvState{id: id, design: design, PollRecvCost: DefaultPollRecvCost}
+}
+
+// Identity returns the environment's MPI identity.
+func (st *EnvState) Identity() *Identity { return st.id }
+
+// Design returns the environment's MPI4Spark design.
+func (st *EnvState) Design() Design { return st.design }
+
+// InstallClient implements rpc.PipelineHooks.
+func (st *EnvState) InstallClient(ch *netty.Channel, env *rpc.Env) {
+	st.install(ch, true)
+}
+
+// InstallServer implements rpc.PipelineHooks.
+func (st *EnvState) InstallServer(ch *netty.Channel, env *rpc.Env) {
+	st.install(ch, false)
+}
+
+func (st *EnvState) install(ch *netty.Channel, client bool) {
+	mc := st.channelState(ch)
+	mc.isClient = client
+	ch.Pipeline().AddBefore("messageDecoder", "mpiHandshake", &handshakeHandler{st: st, mc: mc})
+	if st.design == DesignOptimized {
+		ch.Pipeline().AddLast("mpiOptOut", &optOutbound{mc: mc})
+		ch.Pipeline().AddLast("mpiOptIn", &optInbound{mc: mc})
+	}
+}
+
+// channelState returns (creating on demand) the channel's MPI state.
+func (st *EnvState) channelState(ch *netty.Channel) *mpiChannel {
+	if v, ok := ch.Attr(attrRoute); ok {
+		return v.(*mpiChannel)
+	}
+	mc := &mpiChannel{ch: ch}
+	ch.SetAttr(attrRoute, mc)
+	st.mu.Lock()
+	st.chans = append(st.chans, mc)
+	st.mu.Unlock()
+	return mc
+}
+
+// markReady finalizes a channel's rank mapping and flushes queued writes.
+func (st *EnvState) markReady(mc *mpiChannel, peerKind byte, peerRank, sendTag, recvTag int, vt vtime.Stamp) error {
+	r, err := st.id.resolve(peerKind, peerRank)
+	if err != nil {
+		return err
+	}
+	mc.mu.Lock()
+	mc.route = r
+	mc.sendTag = sendTag
+	mc.recvTag = recvTag
+	mc.ready = true
+	pending := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+	for _, w := range pending {
+		r.h.Isend(r.rank, sendTag, w.data, vtime.Max(w.vt, vt))
+	}
+	return nil
+}
+
+// Poll is the MPI4Spark-Basic selector step: one MPI_Iprobe per mapped
+// channel; on a hit, the frame is received and fired through the pipeline.
+// It reports whether any work was done. Attach it to the environment's
+// event loops with AttachPolling.
+func (st *EnvState) Poll() bool {
+	st.mu.Lock()
+	st.polls++
+	chans := append([]*mpiChannel(nil), st.chans...)
+	st.mu.Unlock()
+
+	did := false
+	for _, mc := range chans {
+		r, _, recvTag, ready := mc.snapshotRoute()
+		if !ready || mc.ch.Conn() == nil || mc.ch.Conn().Closed() {
+			continue
+		}
+		for i := 0; i < 16; i++ {
+			ok, _ := r.h.Iprobe(r.rank, recvTag, 0)
+			if !ok {
+				break
+			}
+			data, status := r.h.Recv(r.rank, recvTag, 0)
+			did = true
+			vt := st.pollClock.ObserveAndAdvance(status.VT, st.PollRecvCost)
+			mc.ch.Pipeline().FireChannelRead(bytebuf.Wrap(data), vt)
+		}
+	}
+	return did
+}
+
+// Polls returns the number of poll iterations performed so far.
+func (st *EnvState) Polls() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.polls
+}
+
+// AttachPolling installs the Iprobe poll on every event loop of the
+// environment (Basic design).
+func (st *EnvState) AttachPolling(env *rpc.Env) {
+	for _, l := range env.Group().Loops() {
+		l.SetAuxPoll(st.Poll)
+	}
+}
+
+// BasicTransportFactory returns the netty transport factory for the Basic
+// design: frames queue until the handshake resolves the peer rank, then
+// every frame is an MPI message; the socket carries only establishment.
+func (st *EnvState) BasicTransportFactory() netty.TransportFactory {
+	return func(ch *netty.Channel, conn *fabric.Conn) netty.Transport {
+		return &basicTransport{st: st, mc: st.channelState(ch), conn: conn}
+	}
+}
+
+// basicTransport sends whole frames as MPI point-to-point messages.
+type basicTransport struct {
+	st   *EnvState
+	mc   *mpiChannel
+	conn *fabric.Conn
+}
+
+// WriteMsg implements netty.Transport.
+func (t *basicTransport) WriteMsg(msg any, vt vtime.Stamp) vtime.Stamp {
+	var data []byte
+	switch m := msg.(type) {
+	case *bytebuf.Buf:
+		data = m.Bytes()
+	case []byte:
+		data = m
+	default:
+		panic("core: basic transport expects framed bytes")
+	}
+	mc := t.mc
+	mc.mu.Lock()
+	if !mc.ready {
+		mc.pending = append(mc.pending, pendingWrite{data: data, vt: vt})
+		mc.mu.Unlock()
+		return vt
+	}
+	r, tag := mc.route, mc.sendTag
+	mc.mu.Unlock()
+	// Isend without waiting: the MPI progress engine owns rendezvous
+	// completion, so a blocked peer selector cannot deadlock two servers
+	// writing large frames to each other.
+	r.h.Isend(r.rank, tag, data, vt)
+	return vt
+}
+
+// Close implements netty.Transport.
+func (t *basicTransport) Close() error { return t.conn.Close() }
+
+// handshakeHandler performs the §VI-B connection-establishment exchange:
+// the client sends (kind, rank, tags) over the socket as its first frame;
+// the server records the mapping and replies with its own identity.
+type handshakeHandler struct {
+	st *EnvState
+	mc *mpiChannel
+}
+
+// ChannelActive sends the client side's handshake.
+func (h *handshakeHandler) ChannelActive(ctx *netty.Context) {
+	if !h.mc.isClient {
+		return
+	}
+	sendTag, recvTag := mpi.AllocTag(), mpi.AllocTag()
+	h.mc.mu.Lock()
+	h.mc.sendTag, h.mc.recvTag = sendTag, recvTag
+	h.mc.mu.Unlock()
+	h.writeHandshake(ctx.Channel(), sendTag, recvTag, ctx.VT())
+}
+
+// writeHandshake ships an establishment frame directly over the socket,
+// bypassing the MPI data path (both designs keep establishment on Netty's
+// Java sockets).
+func (h *handshakeHandler) writeHandshake(ch *netty.Channel, sendTag, recvTag int, vt vtime.Stamp) {
+	body := bytebuf.New(32)
+	body.WriteByte(handshakeMagic)
+	body.WriteByte(h.st.id.Kind)
+	body.WriteUint32(uint32(h.st.id.Rank()))
+	body.WriteUint64(uint64(sendTag))
+	body.WriteUint64(uint64(recvTag))
+	framed := bytebuf.New(4 + body.ReadableBytes())
+	framed.WriteUint32(uint32(body.ReadableBytes()))
+	framed.WriteBytes(body.Readable())
+	if conn := ch.Conn(); conn != nil {
+		conn.Send(framed.Bytes(), vt)
+	}
+}
+
+// ChannelRead consumes handshake frames and passes everything else on.
+func (h *handshakeHandler) ChannelRead(ctx *netty.Context, msg any) {
+	buf, ok := msg.(*bytebuf.Buf)
+	if !ok {
+		ctx.FireChannelRead(msg)
+		return
+	}
+	first, err := buf.PeekUint32()
+	if err != nil || first>>24 != uint32(handshakeMagic) {
+		ctx.FireChannelRead(msg)
+		return
+	}
+	// Parse: magic, kind, rank, sendTag, recvTag.
+	if err := buf.Skip(1); err != nil {
+		return
+	}
+	kind, _ := buf.ReadByte()
+	rank32, _ := buf.ReadUint32()
+	peerSend, _ := buf.ReadUint64()
+	peerRecv, _ := buf.ReadUint64()
+
+	if h.mc.isClient {
+		// Server's reply: peer identity only; tags were ours already.
+		h.mc.mu.Lock()
+		sendTag, recvTag := h.mc.sendTag, h.mc.recvTag
+		h.mc.mu.Unlock()
+		_ = h.st.markReady(h.mc, kind, int(rank32), sendTag, recvTag, ctx.VT())
+		return
+	}
+	// Server: adopt the client's tags mirrored, resolve, and reply.
+	if err := h.st.markReady(h.mc, kind, int(rank32), int(peerRecv), int(peerSend), ctx.VT()); err != nil {
+		return
+	}
+	h.writeHandshake(ctx.Channel(), int(peerRecv), int(peerSend), ctx.VT())
+}
+
+// optOutbound diverts shuffle bodies (ChunkFetchSuccess, StreamResponse)
+// to MPI, leaving the header on the socket — the Optimized design's
+// MessageWithHeader split (Fig. 6).
+type optOutbound struct {
+	mc *mpiChannel
+}
+
+// Write implements netty.OutboundHandler.
+func (h *optOutbound) Write(ctx *netty.Context, msg any) {
+	r, _, _, ready := h.mc.snapshotRoute()
+	if !ready {
+		ctx.Write(msg)
+		return
+	}
+	switch m := msg.(type) {
+	case *rpc.ChunkFetchSuccess:
+		if !m.BodyViaMPI {
+			tag := mpi.AllocTag()
+			r.h.Isend(r.rank, tag, m.Body, ctx.VT())
+			ctx.Write(&rpc.ChunkFetchSuccess{
+				FetchID: m.FetchID, BlockID: m.BlockID,
+				BodyViaMPI: true, BodySize: len(m.Body), BodyTag: tag,
+			})
+			return
+		}
+	case *rpc.StreamResponse:
+		if !m.BodyViaMPI {
+			tag := mpi.AllocTag()
+			r.h.Isend(r.rank, tag, m.Body, ctx.VT())
+			ctx.Write(&rpc.StreamResponse{
+				StreamID: m.StreamID, BodyViaMPI: true, BodySize: len(m.Body), BodyTag: tag,
+			})
+			return
+		}
+	}
+	ctx.Write(msg)
+}
+
+// optInbound parses headers and triggers the matching MPI_Recv for bodies
+// shipped over MPI (the paper's header-triggered receive).
+type optInbound struct {
+	mc *mpiChannel
+}
+
+// ChannelRead implements netty.InboundHandler.
+func (h *optInbound) ChannelRead(ctx *netty.Context, msg any) {
+	r, _, _, ready := h.mc.snapshotRoute()
+	switch m := msg.(type) {
+	case *rpc.ChunkFetchSuccess:
+		if m.BodyViaMPI && ready {
+			data, status := r.h.Recv(r.rank, m.BodyTag, ctx.VT())
+			ctx.SetVT(vtime.Max(ctx.VT(), status.VT))
+			ctx.FireChannelRead(&rpc.ChunkFetchSuccess{
+				FetchID: m.FetchID, BlockID: m.BlockID, Body: data, BodySize: len(data),
+			})
+			return
+		}
+	case *rpc.StreamResponse:
+		if m.BodyViaMPI && ready {
+			data, status := r.h.Recv(r.rank, m.BodyTag, ctx.VT())
+			ctx.SetVT(vtime.Max(ctx.VT(), status.VT))
+			ctx.FireChannelRead(&rpc.StreamResponse{
+				StreamID: m.StreamID, Body: data, BodySize: len(data),
+			})
+			return
+		}
+	}
+	ctx.FireChannelRead(msg)
+}

@@ -1,0 +1,39 @@
+package fabric
+
+import "testing"
+
+func BenchmarkTransfer(b *testing.B) {
+	f := New(NewIBHDRModel())
+	a, c := f.AddNode("a"), f.AddNode("b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Transfer(a, c, MPIRendezvous, 1<<20, 0)
+	}
+}
+
+func BenchmarkConnSendRecv(b *testing.B) {
+	f := New(NewIBHDRModel())
+	f.AddNode("a")
+	f.AddNode("b")
+	l, err := f.Node("b").Listen("svc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	dc, _, err := f.Node("a").Dial(l.Addr(), TCP, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ac, _ := l.Accept()
+	payload := make([]byte, 4<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dc.Send(payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ac.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpi4spark/internal/vtime"
+)
+
+// Addr names a listening endpoint: a node plus a port string.
+type Addr struct {
+	Node string
+	Port string
+}
+
+// String renders the address as node:port.
+func (a Addr) String() string { return a.Node + ":" + a.Port }
+
+// Message is one transfer unit on a connection: a payload plus the virtual
+// time at which the last byte is available at the receiver.
+type Message struct {
+	Data []byte
+	VT   vtime.Stamp
+}
+
+// Stats aggregates per-protocol traffic counters for a fabric.
+type Stats struct {
+	Messages [numProtocols]int64
+	Bytes    [numProtocols]int64
+}
+
+// MessagesFor returns the message count observed for protocol p.
+func (s Stats) MessagesFor(p Protocol) int64 { return s.Messages[p] }
+
+// BytesFor returns the byte count observed for protocol p.
+func (s Stats) BytesFor(p Protocol) int64 { return s.Bytes[p] }
+
+// Fabric is a simulated interconnect: a set of nodes joined by a modeled
+// network. Create one with New, add nodes, then Listen/Dial between them.
+type Fabric struct {
+	model *Model
+
+	mu        sync.Mutex
+	nodes     map[string]*Node
+	listeners map[Addr]*Listener
+	conns     map[*Conn]struct{}
+
+	msgs  [numProtocols]atomic.Int64
+	bytes [numProtocols]atomic.Int64
+}
+
+// New creates an empty fabric governed by the given cost model.
+func New(model *Model) *Fabric {
+	if model == nil {
+		model = NewZeroModel()
+	}
+	return &Fabric{
+		model:     model,
+		nodes:     make(map[string]*Node),
+		listeners: make(map[Addr]*Listener),
+		conns:     make(map[*Conn]struct{}),
+	}
+}
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() *Model { return f.model }
+
+// AddNode creates a node with the given name. Adding a duplicate name
+// panics: node topology is fixed at cluster construction time and a
+// duplicate is a programming error.
+func (f *Fabric) AddNode(name string) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[name]; ok {
+		panic(fmt.Sprintf("fabric: duplicate node %q", name))
+	}
+	n := &Node{
+		name:   name,
+		fabric: f,
+		nicTx:  vtime.NewResource(),
+		nicRx:  vtime.NewResource(),
+	}
+	f.nodes[name] = n
+	return n
+}
+
+// Node returns the named node, or nil if it does not exist.
+func (f *Fabric) Node(name string) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[name]
+}
+
+// Nodes returns the number of nodes in the fabric.
+func (f *Fabric) Nodes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.nodes)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Fabric) Stats() Stats {
+	var s Stats
+	for p := 0; p < int(numProtocols); p++ {
+		s.Messages[p] = f.msgs[p].Load()
+		s.Bytes[p] = f.bytes[p].Load()
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters.
+func (f *Fabric) ResetStats() {
+	for p := 0; p < int(numProtocols); p++ {
+		f.msgs[p].Store(0)
+		f.bytes[p].Store(0)
+	}
+}
+
+func (f *Fabric) account(p Protocol, n int) {
+	f.msgs[p].Add(1)
+	f.bytes[p].Add(int64(n))
+}
+
+// Node is one simulated host: a shared NIC (tx and rx directions are
+// separate full-duplex resources) plus a name. Processes are a concept of
+// higher layers; they share their node's NIC, which is how intra-node
+// process counts translate into network contention.
+type Node struct {
+	name   string
+	fabric *Fabric
+	nicTx  *vtime.Resource
+	nicRx  *vtime.Resource
+	failed bool // guarded by fabric.mu
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Fabric returns the owning fabric.
+func (n *Node) Fabric() *Fabric { return n.fabric }
+
+// Listener accepts connections dialed to its address.
+type Listener struct {
+	addr    Addr
+	node    *Node
+	backlog chan *Conn
+	closed  atomic.Bool
+}
+
+// Listen opens a listener on the node at the given port. It returns an
+// error if the port is already bound.
+func (n *Node) Listen(port string) (*Listener, error) {
+	addr := Addr{Node: n.name, Port: port}
+	f := n.fabric
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.listeners[addr]; ok {
+		return nil, fmt.Errorf("fabric: address %s already bound", addr)
+	}
+	l := &Listener{addr: addr, node: n, backlog: make(chan *Conn, 128)}
+	f.listeners[addr] = l
+	return l, nil
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() Addr { return l.addr }
+
+// Accept blocks until a connection arrives or the listener is closed.
+func (l *Listener) Accept() (*Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close unbinds the listener. Pending un-accepted connections are closed.
+func (l *Listener) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	f := l.node.fabric
+	f.mu.Lock()
+	delete(f.listeners, l.addr)
+	f.mu.Unlock()
+	close(l.backlog)
+	for c := range l.backlog {
+		c.Close()
+	}
+	return nil
+}
+
+// Dial connects from node n to the listener at addr using protocol proto.
+// The handshake is charged one protocol round trip; the returned stamp is
+// the virtual time at which the connection is usable on the dialing side.
+func (n *Node) Dial(addr Addr, proto Protocol, at vtime.Stamp) (*Conn, vtime.Stamp, error) {
+	f := n.fabric
+	f.mu.Lock()
+	l, ok := f.listeners[addr]
+	remote := f.nodes[addr.Node]
+	f.mu.Unlock()
+	if !ok || l.closed.Load() {
+		return nil, at, fmt.Errorf("fabric: connection refused: %s", addr)
+	}
+	if remote == nil {
+		return nil, at, fmt.Errorf("fabric: no such node %q", addr.Node)
+	}
+
+	f.mu.Lock()
+	if n.failed || remote.failed {
+		f.mu.Unlock()
+		return nil, at, fmt.Errorf("fabric: node failed dialing %s", addr)
+	}
+	f.mu.Unlock()
+
+	a2b, b2a := newQueue(), newQueue()
+	dialSide := &Conn{local: n, remote: remote, proto: proto, out: a2b, in: b2a, peerAddr: addr}
+	acceptSide := &Conn{local: remote, remote: n, proto: proto, out: b2a, in: a2b, peerAddr: Addr{Node: n.name, Port: "ephemeral"}}
+	dialSide.peer, acceptSide.peer = acceptSide, dialSide
+	f.mu.Lock()
+	f.conns[dialSide] = struct{}{}
+	f.mu.Unlock()
+
+	// Connection establishment costs one round trip of the protocol's
+	// latency (SYN/SYN-ACK or queue-pair exchange).
+	c := f.model.cost(proto)
+	rtt := 2 * (c.Latency + c.SendOverhead + c.RecvOverhead)
+	if n == remote {
+		rtt = 2 * f.model.loopback(0)
+	}
+	ready := at.Add(rtt)
+
+	select {
+	case l.backlog <- acceptSide:
+	default:
+		// Backlog overflow: refuse, as a kernel would.
+		return nil, at, fmt.Errorf("fabric: backlog full dialing %s", addr)
+	}
+	return dialSide, ready, nil
+}
+
+// Conn is a message-oriented, reliable, ordered connection between two
+// nodes. It is full duplex; Send and Recv may be used concurrently.
+type Conn struct {
+	local    *Node
+	remote   *Node
+	peer     *Conn
+	peerAddr Addr
+	proto    Protocol
+	out      *queue
+	in       *queue
+	closed   atomic.Bool
+}
+
+// LocalNode returns the node on this side of the connection.
+func (c *Conn) LocalNode() *Node { return c.local }
+
+// RemoteNode returns the node on the far side of the connection.
+func (c *Conn) RemoteNode() *Node { return c.remote }
+
+// RemoteAddr returns the address this connection was dialed to (dial side)
+// or a pseudo-address of the dialer (accept side).
+func (c *Conn) RemoteAddr() Addr { return c.peerAddr }
+
+// Protocol returns the connection's protocol.
+func (c *Conn) Protocol() Protocol { return c.proto }
+
+// Send transmits data with the sender's clock at `at`. It returns the
+// virtual time at which the sender's CPU is free again (after send overhead
+// and any copy cost); the message is delivered to the peer carrying the
+// virtual arrival time of its last byte. The payload is not copied: callers
+// must not mutate it after Send.
+func (c *Conn) Send(data []byte, at vtime.Stamp) (cpuFree vtime.Stamp, err error) {
+	return c.sendProto(data, at, c.proto)
+}
+
+// SendProto is like Send but overrides the protocol for this one message.
+// The MPI transports use it to mix eager and rendezvous traffic on one
+// logical connection.
+func (c *Conn) SendProto(data []byte, at vtime.Stamp, proto Protocol) (cpuFree vtime.Stamp, err error) {
+	return c.sendProto(data, at, proto)
+}
+
+func (c *Conn) sendProto(data []byte, at vtime.Stamp, proto Protocol) (vtime.Stamp, error) {
+	if c.closed.Load() {
+		return at, ErrClosed
+	}
+	cpuFree, deliver := c.local.fabric.Transfer(c.local, c.remote, proto, len(data), at)
+	c.out.push(Message{Data: data, VT: deliver})
+	return cpuFree, nil
+}
+
+// Transfer charges the cost model for moving n bytes from one node to
+// another starting at virtual time `at`, including NIC occupancy on both
+// ends. It returns the time the sender's CPU is free and the time the last
+// byte (plus receive overhead) is available at the receiver. Layers with
+// their own endpoints (MPI, RDMA) use this directly instead of a Conn.
+func (f *Fabric) Transfer(from, to *Node, proto Protocol, n int, at vtime.Stamp) (cpuFree, deliver vtime.Stamp) {
+	f.account(proto, n)
+	if from == to {
+		d := f.model.loopback(n)
+		cpuFree = at.Add(d)
+		return cpuFree, cpuFree
+	}
+	cost := f.model.cost(proto)
+	cpuFree = at.Add(cost.SendOverhead + cost.copyCost(n))
+	serial := cost.serial(n)
+	_, txEnd := from.nicTx.Occupy(cpuFree, serial)
+	arrive := txEnd.Add(cost.Latency)
+	// Cut-through receive: if the receiving NIC is idle the transfer
+	// pipelines and the last byte lands at `arrive`; under incast the
+	// occupancy queues and delivery slips.
+	_, rxEnd := to.nicRx.Occupy(arrive.Add(-serial), serial)
+	deliver = vtime.Max(arrive, rxEnd)
+	deliver = deliver.Add(cost.RecvOverhead + cost.copyCost(n))
+	return cpuFree, deliver
+}
+
+// Recv blocks until a message arrives and returns its payload and virtual
+// arrival time.
+func (c *Conn) Recv() (Message, error) {
+	return c.in.pop()
+}
+
+// TryRecv returns a buffered message without blocking; ok reports whether
+// one was available. This is the primitive behind non-blocking selector
+// polls.
+func (c *Conn) TryRecv() (Message, bool) {
+	return c.in.tryPop()
+}
+
+// Pending reports whether a message is buffered for Recv.
+func (c *Conn) Pending() bool {
+	_, ok := c.in.peek()
+	return ok
+}
+
+// SetReadNotify installs fn as a readiness callback: it is invoked after
+// every delivery to this connection and when the connection closes. It is
+// invoked once immediately upon installation so no prior delivery is
+// missed. Event-loop selectors use this as their epoll-style wakeup.
+func (c *Conn) SetReadNotify(fn func()) {
+	c.in.setNotify(fn)
+}
+
+// Close tears down both directions of the connection. It is idempotent.
+func (c *Conn) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.in.close()
+	c.out.close()
+	if p := c.peer; p != nil {
+		p.closed.Store(true)
+	}
+	f := c.local.fabric
+	f.mu.Lock()
+	delete(f.conns, c)
+	if c.peer != nil {
+		delete(f.conns, c.peer)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// FailNode injects a node failure: every connection touching the node is
+// torn down, its listeners stop accepting, and future dials to or from it
+// are refused. Used by failure-injection tests.
+func (f *Fabric) FailNode(name string) {
+	f.mu.Lock()
+	n := f.nodes[name]
+	if n == nil {
+		f.mu.Unlock()
+		return
+	}
+	n.failed = true
+	var victims []*Conn
+	for c := range f.conns {
+		if c.local == n || c.remote == n {
+			victims = append(victims, c)
+		}
+	}
+	var lst []*Listener
+	for _, l := range f.listeners {
+		if l.node == n {
+			lst = append(lst, l)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	for _, l := range lst {
+		l.Close()
+	}
+}
+
+// Failed reports whether the named node has been failed.
+func (f *Fabric) Failed(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.nodes[name]
+	return n != nil && n.failed
+}
+
+// Closed reports whether the connection has been closed by either side.
+func (c *Conn) Closed() bool { return c.closed.Load() }
+
+// TransferTime answers "how long would n bytes take under protocol p
+// between distinct idle nodes" for the fabric's model. Used by unit tests
+// and by analytical sanity checks in the harness.
+func (f *Fabric) TransferTime(p Protocol, n int) time.Duration {
+	c := f.model.cost(p)
+	return c.SendOverhead + c.copyCost(n) + c.serial(n) + c.Latency + c.RecvOverhead + c.copyCost(n)
+}

@@ -1,0 +1,458 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpi4spark/internal/vtime"
+)
+
+func testFabric(t *testing.T, m *Model, nodes ...string) *Fabric {
+	t.Helper()
+	f := New(m)
+	for _, n := range nodes {
+		f.AddNode(n)
+	}
+	return f
+}
+
+func dialPair(t *testing.T, f *Fabric, from, to string, proto Protocol) (*Conn, *Conn) {
+	t.Helper()
+	l, err := f.Node(to).Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	dc, _, err := f.Node(from).Dial(l.Addr(), proto, 0)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	ac, err := l.Accept()
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	return dc, ac
+}
+
+func TestAddNodeDuplicatePanics(t *testing.T) {
+	f := New(NewZeroModel())
+	f.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	f.AddNode("a")
+}
+
+func TestDialUnknownAddr(t *testing.T) {
+	f := testFabric(t, NewZeroModel(), "a")
+	if _, _, err := f.Node("a").Dial(Addr{Node: "a", Port: "nope"}, TCP, 0); err == nil {
+		t.Fatal("dial to unbound port succeeded")
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	f := testFabric(t, NewZeroModel(), "a", "b")
+	dc, ac := dialPair(t, f, "a", "b", TCP)
+	payload := []byte("hello fabric")
+	if _, err := dc.Send(payload, 0); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := ac.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if string(m.Data) != "hello fabric" {
+		t.Fatalf("payload = %q", m.Data)
+	}
+	// Reply direction.
+	if _, err := ac.Send([]byte("pong"), m.VT); err != nil {
+		t.Fatalf("reply Send: %v", err)
+	}
+	r, err := dc.Recv()
+	if err != nil {
+		t.Fatalf("reply Recv: %v", err)
+	}
+	if string(r.Data) != "pong" {
+		t.Fatalf("reply payload = %q", r.Data)
+	}
+}
+
+func TestVirtualDeliveryTimeMatchesModel(t *testing.T) {
+	m := NewIBHDRModel()
+	f := testFabric(t, m, "a", "b")
+	dc, ac := dialPair(t, f, "a", "b", MPIEager)
+	n := 1024
+	if _, err := dc.Send(make([]byte, n), 0); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msg, err := ac.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	want := vtime.Duration(f.TransferTime(MPIEager, n))
+	if msg.VT != want {
+		t.Fatalf("delivery VT = %v, want %v", msg.VT, want)
+	}
+}
+
+func TestProtocolOrderingOnWire(t *testing.T) {
+	// On the calibrated model a 64 KiB transfer must cost, from cheapest to
+	// most expensive: MPI eager < RDMA < TCP.
+	f := New(NewIBHDRModel())
+	n := 64 << 10
+	mpi := f.TransferTime(MPIEager, n)
+	rdma := f.TransferTime(RDMA, n)
+	tcp := f.TransferTime(TCP, n)
+	if !(mpi < rdma && rdma < tcp) {
+		t.Fatalf("cost ordering wrong: mpi=%v rdma=%v tcp=%v", mpi, rdma, tcp)
+	}
+}
+
+func TestLargeMessageSpeedupShape(t *testing.T) {
+	// The paper reports ~9x Netty-vs-Netty+MPI at 4 MB on the internal
+	// cluster; the raw fabric gap at 4 MB should be in that neighborhood
+	// (the Netty layer adds framing costs on top).
+	f := New(NewIBEDRModel())
+	n := 4 << 20
+	tcp := f.TransferTime(TCP, n)
+	mpi := f.TransferTime(MPIRendezvous, n)
+	ratio := float64(tcp) / float64(mpi)
+	if ratio < 4 || ratio > 20 {
+		t.Fatalf("4MB tcp/mpi ratio = %.2f, want within [4,20]", ratio)
+	}
+}
+
+func TestLoopbackCheaperThanWire(t *testing.T) {
+	m := NewIBHDRModel()
+	f := testFabric(t, m, "a", "b")
+	l, err := f.Node("a").Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	dc, _, err := f.Node("a").Dial(l.Addr(), TCP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, _ := l.Accept()
+	_ = ac
+	n := 1 << 20
+	if _, err := dc.Send(make([]byte, n), 0); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := ac.Recv()
+	wire := vtime.Duration(f.TransferTime(TCP, n))
+	if msg.VT >= wire {
+		t.Fatalf("loopback VT %v not cheaper than wire %v", msg.VT, wire)
+	}
+}
+
+func TestIncastContentionQueues(t *testing.T) {
+	// Two senders on different nodes hitting one receiver at the same
+	// virtual instant: the second delivery must be pushed out by roughly one
+	// serialization time relative to an uncontended transfer.
+	m := NewIBHDRModel()
+	f := testFabric(t, m, "a", "b", "dst")
+	ca, _ := dialPair(t, f, "a", "dst", MPIRendezvous)
+	lb, err := f.Node("dst").Listen("svc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	cb, _, err := f.Node("b").Dial(lb.Addr(), MPIRendezvous, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acb, _ := lb.Accept()
+
+	const n = 1 << 20
+	if _, err := ca.Send(make([]byte, n), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Send(make([]byte, n), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Drain both receive sides (ca's accept side is the first conn pair's
+	// accept half, fetched via the peer pointer).
+	m1, err := ca.peer.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := acb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := m1.VT, m2.VT
+	if second < first {
+		first, second = second, first
+	}
+	uncontended := vtime.Duration(f.TransferTime(MPIRendezvous, n))
+	if first != uncontended {
+		t.Fatalf("first delivery %v, want uncontended %v", first, uncontended)
+	}
+	serial := m.Costs[MPIRendezvous].serial(n)
+	gap := (second - first).AsDuration()
+	if gap < serial/2 || gap > 2*serial {
+		t.Fatalf("incast gap = %v, want about one serialization time %v", gap, serial)
+	}
+}
+
+func TestFIFOOrderingPerConnection(t *testing.T) {
+	f := testFabric(t, NewIBHDRModel(), "a", "b")
+	dc, ac := dialPair(t, f, "a", "b", TCP)
+	at := vtime.Stamp(0)
+	for i := 0; i < 20; i++ {
+		var err error
+		at, err = dc.Send([]byte{byte(i)}, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last vtime.Stamp = -1
+	for i := 0; i < 20; i++ {
+		m, err := ac.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Data[0] != byte(i) {
+			t.Fatalf("out of order: got %d at position %d", m.Data[0], i)
+		}
+		if m.VT < last {
+			t.Fatalf("delivery times not monotonic: %v after %v", m.VT, last)
+		}
+		last = m.VT
+	}
+}
+
+func TestTryRecvAndPending(t *testing.T) {
+	f := testFabric(t, NewZeroModel(), "a", "b")
+	dc, ac := dialPair(t, f, "a", "b", TCP)
+	if _, ok := ac.TryRecv(); ok {
+		t.Fatal("TryRecv on empty connection returned a message")
+	}
+	if ac.Pending() {
+		t.Fatal("Pending on empty connection")
+	}
+	if _, err := dc.Send([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !ac.Pending() {
+		t.Fatal("Pending false after send")
+	}
+	if m, ok := ac.TryRecv(); !ok || string(m.Data) != "x" {
+		t.Fatalf("TryRecv = %v, %v", m, ok)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	f := testFabric(t, NewZeroModel(), "a", "b")
+	dc, ac := dialPair(t, f, "a", "b", TCP)
+	if _, err := dc.Send([]byte("pre-close"), 0); err != nil {
+		t.Fatal(err)
+	}
+	dc.Close()
+	if !ac.Closed() {
+		t.Fatal("peer not marked closed")
+	}
+	// Buffered data drains before ErrClosed.
+	if m, err := ac.Recv(); err != nil || string(m.Data) != "pre-close" {
+		t.Fatalf("drain after close: %v, %v", m, err)
+	}
+	if _, err := ac.Recv(); err != ErrClosed {
+		t.Fatalf("Recv after drain: %v, want ErrClosed", err)
+	}
+	if _, err := dc.Send([]byte("y"), 0); err != ErrClosed {
+		t.Fatalf("Send after close: %v, want ErrClosed", err)
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	f := testFabric(t, NewZeroModel(), "a")
+	l, err := f.Node("a").Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("Accept after Close: %v, want ErrClosed", err)
+	}
+	// Port is released and can be rebound.
+	if _, err := f.Node("a").Listen("svc"); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	f := testFabric(t, NewZeroModel(), "a", "b")
+	dc, _ := dialPair(t, f, "a", "b", RDMA)
+	f.ResetStats()
+	if _, err := dc.Send(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.SendProto(make([]byte, 50), 0, MPIEager); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Stats()
+	if s.MessagesFor(RDMA) != 1 || s.BytesFor(RDMA) != 100 {
+		t.Fatalf("rdma stats = %d msgs / %d bytes", s.MessagesFor(RDMA), s.BytesFor(RDMA))
+	}
+	if s.MessagesFor(MPIEager) != 1 || s.BytesFor(MPIEager) != 50 {
+		t.Fatalf("mpi stats = %d msgs / %d bytes", s.MessagesFor(MPIEager), s.BytesFor(MPIEager))
+	}
+}
+
+func TestTimeDilation(t *testing.T) {
+	m1 := NewIBHDRModel()
+	m2 := NewIBHDRModel()
+	m2.TimeDilation = 2.0
+	f1, f2 := New(m1), New(m2)
+	n := 1 << 16
+	t1 := f1.TransferTime(TCP, n)
+	t2 := f2.TransferTime(TCP, n)
+	ratio := float64(t2) / float64(t1)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("dilated/base = %.3f, want ~2", ratio)
+	}
+}
+
+func TestConcurrentSendersSafe(t *testing.T) {
+	f := testFabric(t, NewIBHDRModel(), "a", "b")
+	dc, ac := dialPair(t, f, "a", "b", TCP)
+	const senders, per = 4, 50
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if _, err := dc.Send([]byte{1}, 0); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < senders*per; i++ {
+		if _, err := ac.Recv(); err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+	}
+}
+
+// Property: transfer time is monotonic in message size for every protocol.
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	f := New(NewIBHDRModel())
+	cmp := func(a, b uint32) bool {
+		small, big := int(a%(8<<20)), int(b%(8<<20))
+		if small > big {
+			small, big = big, small
+		}
+		for p := Protocol(0); p < numProtocols; p++ {
+			if f.TransferTime(p, small) > f.TransferTime(p, big) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(cmp, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{TCP: "tcp", RDMA: "rdma", MPIEager: "mpi-eager", MPIRendezvous: "mpi-rndv"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestDialHandshakeCost(t *testing.T) {
+	f := testFabric(t, NewIBHDRModel(), "a", "b")
+	l, err := f.Node("b").Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, ready, err := f.Node("a").Dial(l.Addr(), TCP, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Model().Costs[TCP]
+	want := vtime.Stamp(1000).Add(2 * (c.Latency + c.SendOverhead + c.RecvOverhead))
+	if ready != want {
+		t.Fatalf("handshake ready = %v, want %v", ready, want)
+	}
+}
+
+func TestZeroModelIsFree(t *testing.T) {
+	f := New(NewZeroModel())
+	for p := Protocol(0); p < numProtocols; p++ {
+		if d := f.TransferTime(p, 1<<20); d != 0 {
+			t.Fatalf("zero model TransferTime(%v) = %v", p, d)
+		}
+	}
+}
+
+func TestSerialMath(t *testing.T) {
+	c := Cost{GbitsPerSec: 100}
+	// 100 Gbit/s == 12.5 GB/s; 1 MiB should take ~83.9 us.
+	got := c.serial(1 << 20)
+	ns := float64(1<<20) * 8 / 100
+	want := time.Duration(ns)
+	if got != want {
+		t.Fatalf("serial(1MiB) = %v, want %v", got, want)
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	f := testFabric(t, NewZeroModel(), "a", "b", "c")
+	dc, ac := dialPair(t, f, "a", "b", TCP)
+	if _, err := dc.Send([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.FailNode("b")
+	if !f.Failed("b") {
+		t.Fatal("node not marked failed")
+	}
+	// Existing connections die (after draining buffered data).
+	ac.Recv()
+	if _, err := ac.Recv(); err != ErrClosed {
+		t.Fatalf("Recv on failed node = %v", err)
+	}
+	if _, err := dc.Send([]byte("y"), 0); err != ErrClosed {
+		t.Fatalf("Send to failed node = %v", err)
+	}
+	// New dials to the failed node are refused.
+	if _, _, err := f.Node("a").Dial(Addr{Node: "b", Port: "svc"}, TCP, 0); err == nil {
+		t.Fatal("dial to failed node succeeded")
+	}
+	// Dials from the failed node are refused too.
+	l, err := f.Node("c").Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := f.Node("b").Dial(l.Addr(), TCP, 0); err == nil {
+		t.Fatal("dial from failed node succeeded")
+	}
+	// Unrelated nodes keep working.
+	if _, _, err := f.Node("a").Dial(l.Addr(), TCP, 0); err != nil {
+		t.Fatalf("dial between healthy nodes: %v", err)
+	}
+	f.FailNode("unknown") // no-op
+}

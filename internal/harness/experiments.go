@@ -1,0 +1,478 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mpi4spark/internal/core"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/hibench"
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/mpi"
+	"mpi4spark/internal/ohb"
+	"mpi4spark/internal/spark"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/vtime"
+)
+
+// Options scales the experiments. Zero values select laptop-friendly
+// defaults; cmd/experiments exposes them as flags.
+type Options struct {
+	// Workers is the base worker count for Fig 9/12 and the headline run.
+	Workers int
+	// WorkerCounts is the scaling sweep for Figs 10 and 11.
+	WorkerCounts []int
+	// BytesPerWorker is the weak-scaling data volume per worker (the
+	// paper's 14 GB/worker, scaled).
+	BytesPerWorker int64
+	// TotalBytes is the strong-scaling fixed volume (the paper's 224 GB,
+	// scaled).
+	TotalBytes int64
+	// ValueBytes is the OHB record payload size.
+	ValueBytes int
+	// SlotsPerWorker overrides the system profile's scaled slot count.
+	// Fewer slots with the same data volume means larger shuffle blocks,
+	// which is the paper's operating regime.
+	SlotsPerWorker int
+	// Seed makes runs deterministic.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Workers < 1 {
+		o.Workers = 4
+	}
+	if o.SlotsPerWorker < 1 {
+		o.SlotsPerWorker = 2
+	}
+	if len(o.WorkerCounts) == 0 {
+		o.WorkerCounts = []int{2, 4, 8}
+	}
+	if o.BytesPerWorker <= 0 {
+		o.BytesPerWorker = 8 << 20
+	}
+	if o.TotalBytes <= 0 {
+		o.TotalBytes = 32 << 20
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 2022
+	}
+}
+
+// ohbConfig derives an OHB configuration from a data volume.
+func ohbConfig(o Options, workers, slots int, totalBytes int64) ohb.Config {
+	mappers := workers * slots
+	pairBytes := int64(o.ValueBytes + 8)
+	perMapper := int(totalBytes / int64(mappers) / pairBytes)
+	if perMapper < 10 {
+		perMapper = 10
+	}
+	return ohb.Config{
+		Mappers:        mappers,
+		Reducers:       mappers,
+		PairsPerMapper: perMapper,
+		ValueBytes:     o.ValueBytes,
+		KeyRange:       int64(mappers*perMapper)/4 + 1,
+		Seed:           o.Seed,
+	}
+}
+
+// runOHB builds a fresh cluster for the spec and runs one OHB benchmark.
+func runOHB(spec ClusterSpec, cfg ohb.Config, bench string) (*ohb.Result, error) {
+	cl, err := BuildCluster(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	switch bench {
+	case "GroupBy":
+		return ohb.RunGroupByTest(cl.Ctx, cfg)
+	case "SortBy":
+		return ohb.RunSortByTest(cl.Ctx, cfg)
+	default:
+		return nil, fmt.Errorf("harness: unknown OHB benchmark %q", bench)
+	}
+}
+
+// PingPongPoint is one Fig 8 measurement.
+type PingPongPoint struct {
+	Size    int
+	NIO     time.Duration
+	MPI     time.Duration
+	Speedup float64
+}
+
+// RunFig8 measures Netty-level ping-pong latency (half round trip) for the
+// NIO transport versus the MPI transport on the internal-cluster profile,
+// reproducing Figure 8.
+func RunFig8(sizes []int) ([]PingPongPoint, *metrics.Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{4, 64, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	}
+	measure := func(useMPI bool) (map[int]time.Duration, error) {
+		f := fabric.New(InternalCluster.NewModel())
+		n0, n1 := f.AddNode("node0"), f.AddNode("node1")
+		var envA, envB *rpc.Env
+		if useMPI {
+			w := mpi.NewWorld(f)
+			comm := w.InitWorld([]*fabric.Node{n0, n1})
+			idA := &core.Identity{Kind: core.KindParent, World: comm.Handle(0)}
+			idB := &core.Identity{Kind: core.KindParent, World: comm.Handle(1)}
+			var err error
+			envA, _, err = core.NewMPIEnv("client", n0, "rpc", idA, core.DesignBasic, rpc.EnvConfig{})
+			if err != nil {
+				return nil, err
+			}
+			envB, _, err = core.NewMPIEnv("server", n1, "rpc", idB, core.DesignBasic, rpc.EnvConfig{})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			envA, err = rpc.NewEnv("client", n0, "rpc", rpc.DefaultEnvConfig())
+			if err != nil {
+				return nil, err
+			}
+			envB, err = rpc.NewEnv("server", n1, "rpc", rpc.DefaultEnvConfig())
+			if err != nil {
+				return nil, err
+			}
+		}
+		defer envA.Shutdown()
+		defer envB.Shutdown()
+		if err := envB.RegisterEndpoint("PingPong", func(c *rpc.Call) {
+			c.Reply(c.Payload, c.VT)
+		}); err != nil {
+			return nil, err
+		}
+		out := make(map[int]time.Duration, len(sizes))
+		// Warm the connection (establishment + handshake).
+		_, vt, err := envA.Ask(envB.Addr(), "PingPong", []byte{1}, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, sz := range sizes {
+			payload := make([]byte, sz)
+			const iters = 4
+			var total vtime.Stamp
+			for i := 0; i < iters; i++ {
+				_, vt2, err := envA.Ask(envB.Addr(), "PingPong", payload, vt)
+				if err != nil {
+					return nil, err
+				}
+				total += vt2 - vt
+				vt = vt2
+			}
+			out[sz] = (total / (2 * iters)).AsDuration() // half round trip
+		}
+		return out, nil
+	}
+
+	nio, err := measure(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	mpiRes, err := measure(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	table := &metrics.Table{
+		Title:   "Figure 8: Netty ping-pong latency (internal cluster, IB-EDR)",
+		Columns: []string{"Size", "Netty (NIO)", "Netty+MPI", "Speedup"},
+		Notes:   []string{"latency = half round trip; paper reports up to ~9x at 4MB"},
+	}
+	points := make([]PingPongPoint, 0, len(sizes))
+	for _, sz := range sizes {
+		p := PingPongPoint{
+			Size:    sz,
+			NIO:     nio[sz],
+			MPI:     mpiRes[sz],
+			Speedup: float64(nio[sz]) / float64(mpiRes[sz]),
+		}
+		points = append(points, p)
+		table.AddRow(sizeLabel(sz), p.NIO, p.MPI, p.Speedup)
+	}
+	return points, table, nil
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// RunFig9 compares MPI4Spark-Basic against MPI4Spark-Optimized and Vanilla
+// Spark on OHB GroupBy and SortBy at two scales, reproducing Figure 9.
+func RunFig9(o Options) (*metrics.Table, error) {
+	o.defaults()
+	table := &metrics.Table{
+		Title:   "Figure 9: MPI4Spark-Basic vs MPI4Spark-Optimized (Frontera profile)",
+		Columns: []string{"Benchmark", "Workers", "Backend", "Total", "ShuffleRead"},
+		Notes:   []string{"Basic's Iprobe polling starves compute; Optimized avoids it"},
+	}
+	backends := []spark.Backend{spark.BackendVanilla, spark.BackendMPIBasic, spark.BackendMPIOpt}
+	for _, bench := range []string{"GroupBy", "SortBy"} {
+		for _, workers := range []int{o.Workers / 2, o.Workers} {
+			if workers < 1 {
+				workers = 1
+			}
+			cfg := ohbConfig(o, workers, o.SlotsPerWorker, o.BytesPerWorker*int64(workers))
+			for _, b := range backends {
+				res, err := runOHB(ClusterSpec{System: Frontera, Workers: workers, Backend: b, SlotsPerWorker: o.SlotsPerWorker}, cfg, bench)
+				if err != nil {
+					return nil, err
+				}
+				label := b.String()
+				if b == spark.BackendMPIBasic {
+					label = "MPI-Basic"
+				}
+				table.AddRow(bench, workers, label, res.Total, res.ShuffleReadTime())
+			}
+		}
+	}
+	return table, nil
+}
+
+// ScalingRow is one (workers, backend) result with the paper's breakdown.
+type ScalingRow struct {
+	Workers     int
+	Backend     spark.Backend
+	DataGen     vtime.Stamp
+	ShuffleMap  vtime.Stamp
+	ShuffleRead vtime.Stamp
+	Total       vtime.Stamp
+}
+
+// runScaling executes one OHB benchmark across worker counts and backends.
+func runScaling(o Options, bench string, totalBytesFor func(workers int) int64) ([]ScalingRow, error) {
+	backends := []spark.Backend{spark.BackendVanilla, spark.BackendRDMA, spark.BackendMPIOpt}
+	var rows []ScalingRow
+	for _, workers := range o.WorkerCounts {
+		cfg := ohbConfig(o, workers, o.SlotsPerWorker, totalBytesFor(workers))
+		for _, b := range backends {
+			res, err := runOHB(ClusterSpec{System: Frontera, Workers: workers, Backend: b, SlotsPerWorker: o.SlotsPerWorker}, cfg, bench)
+			if err != nil {
+				return nil, err
+			}
+			row := ScalingRow{
+				Workers: workers,
+				Backend: b,
+				Total:   res.Total,
+			}
+			for _, s := range res.Stages {
+				switch {
+				case s.JobID == 0:
+					row.DataGen += s.Duration()
+				case s.Kind == "ShuffleMapStage":
+					row.ShuffleMap += s.Duration()
+				case s.Kind == "ResultStage" && s.ShuffleBytes > 0:
+					row.ShuffleRead += s.Duration()
+				default:
+					// Sampling job (SortBy): fold into data generation.
+					row.DataGen += s.Duration()
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func scalingTable(title string, rows []ScalingRow) *metrics.Table {
+	t := &metrics.Table{
+		Title:   title,
+		Columns: []string{"Workers", "Backend", "DataGen", "ShuffleWrite", "ShuffleRead", "Total"},
+		Notes:   []string{"breakdown follows the paper: Job0-ResultStage / ShuffleMapStage / shuffle-read ResultStage"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workers, r.Backend.String(), r.DataGen, r.ShuffleMap, r.ShuffleRead, r.Total)
+	}
+	return t
+}
+
+// RunFig10 reproduces the weak-scaling breakdown (Figure 10): data grows
+// with the worker count.
+func RunFig10(o Options, bench string) ([]ScalingRow, *metrics.Table, error) {
+	o.defaults()
+	rows, err := runScaling(o, bench, func(workers int) int64 {
+		return o.BytesPerWorker * int64(workers)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	title := fmt.Sprintf("Figure 10: weak scaling %sTest breakdown (Frontera profile)", bench)
+	return rows, scalingTable(title, rows), nil
+}
+
+// RunFig11 reproduces the strong-scaling breakdown (Figure 11): fixed data
+// volume across worker counts.
+func RunFig11(o Options, bench string) ([]ScalingRow, *metrics.Table, error) {
+	o.defaults()
+	rows, err := runScaling(o, bench, func(int) int64 { return o.TotalBytes })
+	if err != nil {
+		return nil, nil, err
+	}
+	title := fmt.Sprintf("Figure 11: strong scaling %sTest breakdown (Frontera profile)", bench)
+	return rows, scalingTable(title, rows), nil
+}
+
+// HiBenchRow is one Figure 12 measurement.
+type HiBenchRow struct {
+	Workload string
+	Backend  spark.Backend
+	Total    vtime.Stamp
+}
+
+// hibenchWorkloads returns the runnable workload set, scaled by workers.
+func hibenchWorkloads(o Options, workers, slots int) map[string]func(*spark.Context) (*hibench.Result, error) {
+	parts := workers * slots
+	perPart := int(o.BytesPerWorker * int64(workers) / int64(parts) / 400)
+	if perPart < 50 {
+		perPart = 50
+	}
+	return map[string]func(*spark.Context) (*hibench.Result, error){
+		"LDA": func(ctx *spark.Context) (*hibench.Result, error) {
+			return hibench.RunLDA(ctx, hibench.LDAConfig{
+				Parts: parts, DocsPer: perPart / 10, Vocab: 2000, WordsPer: 40, K: 8, Iterations: 3, Seed: o.Seed,
+			})
+		},
+		"SVM": func(ctx *spark.Context) (*hibench.Result, error) {
+			return hibench.RunSVM(ctx, hibench.MLConfig{
+				Parts: parts, PerPart: perPart, Dim: 32, Iterations: 3, Seed: o.Seed,
+			})
+		},
+		"LR": func(ctx *spark.Context) (*hibench.Result, error) {
+			return hibench.RunLogisticRegression(ctx, hibench.MLConfig{
+				Parts: parts, PerPart: perPart, Dim: 32, Iterations: 3, Seed: o.Seed,
+			})
+		},
+		"GMM": func(ctx *spark.Context) (*hibench.Result, error) {
+			return hibench.RunGMM(ctx, hibench.GMMConfig{
+				Parts: parts, PerPart: perPart / 2, Dim: 16, K: 4, Iterations: 3, Seed: o.Seed,
+			})
+		},
+		"Repartition": func(ctx *spark.Context) (*hibench.Result, error) {
+			return hibench.RunRepartition(ctx, hibench.RepartitionConfig{
+				Parts: parts, RowsPer: perPart, ValueSize: 200, OutParts: parts, Seed: o.Seed,
+			})
+		},
+		"TeraSort": func(ctx *spark.Context) (*hibench.Result, error) {
+			return hibench.RunTeraSort(ctx, hibench.TeraSortConfig{
+				Parts: parts, RowsPer: perPart, Seed: o.Seed,
+			})
+		},
+		"NWeight": func(ctx *spark.Context) (*hibench.Result, error) {
+			return hibench.RunNWeight(ctx, hibench.NWeightConfig{
+				Parts: parts, Vertices: int64(parts * perPart / 8), Degree: 8, Hops: 2, Seed: o.Seed,
+			})
+		},
+	}
+}
+
+// RunFig12 reproduces the HiBench comparison for one system profile:
+// Figure 12(a,b) on Frontera (with RDMA-Spark), Figure 12(c) on Stampede2
+// (no RDMA baseline there).
+func RunFig12(o Options, sys System, workloads []string) ([]HiBenchRow, *metrics.Table, error) {
+	o.defaults()
+	backends := []spark.Backend{spark.BackendVanilla}
+	if sys.SupportsRDMA {
+		backends = append(backends, spark.BackendRDMA)
+	}
+	backends = append(backends, spark.BackendMPIOpt)
+
+	table := &metrics.Table{
+		Title:   fmt.Sprintf("Figure 12: Intel HiBench on %s profile (%d workers)", sys.Name, o.Workers),
+		Columns: []string{"Workload", "Backend", "Total"},
+	}
+	runners := hibenchWorkloads(o, o.Workers, o.SlotsPerWorker)
+	var rows []HiBenchRow
+	for _, wl := range workloads {
+		runner, ok := runners[wl]
+		if !ok {
+			return nil, nil, fmt.Errorf("harness: unknown workload %q", wl)
+		}
+		for _, b := range backends {
+			cl, err := BuildCluster(ClusterSpec{System: sys, Workers: o.Workers, Backend: b, SlotsPerWorker: o.SlotsPerWorker})
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := runner(cl.Ctx)
+			cl.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, HiBenchRow{Workload: wl, Backend: b, Total: res.Total})
+			table.AddRow(wl, b.String(), res.Total)
+		}
+	}
+	return rows, table, nil
+}
+
+// HeadlineResult is the §VII-E summary: end-to-end and shuffle-read
+// speedups of MPI4Spark over Vanilla and RDMA-Spark for GroupByTest.
+type HeadlineResult struct {
+	Workers                   int
+	TotalVanilla              vtime.Stamp
+	TotalRDMA                 vtime.Stamp
+	TotalMPI                  vtime.Stamp
+	ReadVanilla               vtime.Stamp
+	ReadRDMA                  vtime.Stamp
+	ReadMPI                   vtime.Stamp
+	E2EVsVanilla, E2EVsRDMA   float64
+	ReadVsVanilla, ReadVsRDMA float64
+}
+
+// RunHeadline reproduces the paper's headline numbers: GroupByTest with 8
+// Spark workers (448 cores on Frontera), MPI4Spark vs Vanilla vs RDMA.
+// The paper reports 4.23x/2.04x end-to-end and 13.08x/5.56x shuffle read.
+func RunHeadline(o Options) (*HeadlineResult, *metrics.Table, error) {
+	o.defaults()
+	workers := 8
+	cfg := ohbConfig(o, workers, o.SlotsPerWorker, o.BytesPerWorker*int64(workers))
+	run := func(b spark.Backend) (*ohb.Result, error) {
+		return runOHB(ClusterSpec{System: Frontera, Workers: workers, Backend: b, SlotsPerWorker: o.SlotsPerWorker}, cfg, "GroupBy")
+	}
+	v, err := run(spark.BackendVanilla)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := run(spark.BackendRDMA)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := run(spark.BackendMPIOpt)
+	if err != nil {
+		return nil, nil, err
+	}
+	h := &HeadlineResult{
+		Workers:       workers,
+		TotalVanilla:  v.Total,
+		TotalRDMA:     r.Total,
+		TotalMPI:      m.Total,
+		ReadVanilla:   v.ShuffleReadTime(),
+		ReadRDMA:      r.ShuffleReadTime(),
+		ReadMPI:       m.ShuffleReadTime(),
+		E2EVsVanilla:  metrics.Speedup(v.Total, m.Total),
+		E2EVsRDMA:     metrics.Speedup(r.Total, m.Total),
+		ReadVsVanilla: metrics.Speedup(v.ShuffleReadTime(), m.ShuffleReadTime()),
+		ReadVsRDMA:    metrics.Speedup(r.ShuffleReadTime(), m.ShuffleReadTime()),
+	}
+	t := &metrics.Table{
+		Title:   "Headline (§VII): GroupByTest, 8 workers, Frontera profile",
+		Columns: []string{"Metric", "IPoIB", "RDMA", "MPI4Spark", "vs IPoIB", "vs RDMA"},
+		Notes: []string{
+			"paper: 4.23x / 2.04x end-to-end, 13.08x / 5.56x shuffle read (448 cores)",
+		},
+	}
+	t.AddRow("End-to-end", h.TotalVanilla, h.TotalRDMA, h.TotalMPI, h.E2EVsVanilla, h.E2EVsRDMA)
+	t.AddRow("Shuffle read", h.ReadVanilla, h.ReadRDMA, h.ReadMPI, h.ReadVsVanilla, h.ReadVsRDMA)
+	return h, t, nil
+}

@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/ohb"
+	"mpi4spark/internal/spark"
+)
+
+func TestSystemsProfiles(t *testing.T) {
+	if len(Systems()) != 3 {
+		t.Fatal("expected the paper's three systems")
+	}
+	if Stampede2.SupportsRDMA {
+		t.Fatal("paper: RDMA-Spark numbers were not collected on Stampede2")
+	}
+	if !Frontera.SupportsRDMA || !InternalCluster.SupportsRDMA {
+		t.Fatal("IB systems must support RDMA")
+	}
+}
+
+func TestBuildClusterAllBackends(t *testing.T) {
+	for _, b := range []spark.Backend{spark.BackendVanilla, spark.BackendRDMA, spark.BackendMPIBasic, spark.BackendMPIOpt} {
+		cl, err := BuildCluster(ClusterSpec{System: Frontera, Workers: 2, Backend: b})
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		r := spark.Parallelize(cl.Ctx, []int64{1, 2, 3}, 2)
+		if n, err := spark.Count(r); err != nil || n != 3 {
+			t.Fatalf("%v: count = %d, %v", b, n, err)
+		}
+		cl.Close()
+	}
+}
+
+func TestBuildClusterRejectsRDMAOnStampede2(t *testing.T) {
+	if _, err := BuildCluster(ClusterSpec{System: Stampede2, Workers: 1, Backend: spark.BackendRDMA}); err == nil {
+		t.Fatal("RDMA on Stampede2 accepted")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	points, table, err := RunFig8([]int{64, 64 << 10, 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 || len(table.Rows) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Speedup <= 1 {
+			t.Errorf("size %d: Netty+MPI not faster (%.2fx)", p.Size, p.Speedup)
+		}
+		t.Logf("fig8 size=%d nio=%v mpi=%v speedup=%.2f", p.Size, p.NIO, p.MPI, p.Speedup)
+	}
+	// The 4MB point is the paper's headline: ~9x. Accept a generous band.
+	last := points[len(points)-1]
+	if last.Speedup < 4 || last.Speedup > 18 {
+		t.Errorf("4MB speedup = %.2f, want within [4,18] (paper ~9x)", last.Speedup)
+	}
+}
+
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-scale experiment")
+	}
+	o := Options{BytesPerWorker: 16 << 20, SlotsPerWorker: 2, Seed: 1}
+	h, table, err := RunHeadline(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	table.WriteText(&buf)
+	t.Logf("\n%s", buf.String())
+	// Shape assertions from §VII-E: MPI wins end-to-end and (by more) on
+	// shuffle read; RDMA sits between MPI and Vanilla.
+	if !(h.E2EVsVanilla > 1 && h.E2EVsRDMA > 1) {
+		t.Errorf("MPI4Spark does not win end-to-end: %.2f / %.2f", h.E2EVsVanilla, h.E2EVsRDMA)
+	}
+	if !(h.ReadVsVanilla > h.E2EVsVanilla) {
+		t.Errorf("shuffle-read speedup (%.2f) should exceed end-to-end speedup (%.2f)", h.ReadVsVanilla, h.E2EVsVanilla)
+	}
+	if !(h.ReadVanilla > h.ReadRDMA && h.ReadRDMA > h.ReadMPI) {
+		t.Errorf("shuffle-read ordering broken: vanilla=%v rdma=%v mpi=%v", h.ReadVanilla, h.ReadRDMA, h.ReadMPI)
+	}
+	// Factor bands around the paper's 13.08x / 5.56x read and
+	// 4.23x / 2.04x end-to-end speedups.
+	if h.ReadVsVanilla < 5 || h.ReadVsVanilla > 20 {
+		t.Errorf("read speedup vs vanilla = %.2f, want within [5,20] (paper 13.08)", h.ReadVsVanilla)
+	}
+	if h.ReadVsRDMA < 2.5 || h.ReadVsRDMA > 9 {
+		t.Errorf("read speedup vs RDMA = %.2f, want within [2.5,9] (paper 5.56)", h.ReadVsRDMA)
+	}
+	if h.E2EVsVanilla < 2 || h.E2EVsVanilla > 9 {
+		t.Errorf("e2e speedup vs vanilla = %.2f, want within [2,9] (paper 4.23)", h.E2EVsVanilla)
+	}
+	if h.E2EVsRDMA < 1.2 || h.E2EVsRDMA > 5 {
+		t.Errorf("e2e speedup vs RDMA = %.2f, want within [1.2,5] (paper 2.04)", h.E2EVsRDMA)
+	}
+}
+
+func TestFig12StampedeExcludesRDMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-scale experiment")
+	}
+	o := Options{Workers: 2, BytesPerWorker: 256 << 10, Seed: 3}
+	rows, _, err := RunFig12(o, Stampede2, []string{"Repartition"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Backend == spark.BackendRDMA {
+			t.Fatal("RDMA rows present on Stampede2")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	_, table, err := RunFig8([]int{1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, md bytes.Buffer
+	table.WriteText(&txt)
+	table.WriteMarkdown(&md)
+	if !strings.Contains(txt.String(), "Figure 8") || !strings.Contains(md.String(), "| Size |") {
+		t.Fatalf("rendering broken:\n%s\n%s", txt.String(), md.String())
+	}
+}
+
+// TestModelRobustnessUnderDilation checks that the headline speedup ratios
+// are insensitive to uniformly scaling every modeled cost (TimeDilation):
+// the conclusions come from relative software-stack costs, not absolute
+// calibration.
+func TestModelRobustnessUnderDilation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-scale experiment")
+	}
+	run := func(dilation float64) float64 {
+		sys := Frontera
+		base := sys.NewModel
+		sys.NewModel = func() *fabric.Model {
+			m := base()
+			m.TimeDilation = dilation
+			return m
+		}
+		cfg := ohb.Config{
+			Mappers: 8, Reducers: 8, PairsPerMapper: 4000, ValueBytes: 100, Seed: 5,
+		}
+		speeds := map[spark.Backend]float64{}
+		for _, b := range []spark.Backend{spark.BackendVanilla, spark.BackendMPIOpt} {
+			cl, err := BuildCluster(ClusterSpec{System: sys, Workers: 4, Backend: b, SlotsPerWorker: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ohb.RunGroupByTest(cl.Ctx, cfg)
+			cl.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			speeds[b] = float64(res.Total)
+		}
+		return speeds[spark.BackendVanilla] / speeds[spark.BackendMPIOpt]
+	}
+	base := run(1.0)
+	dilated := run(2.0)
+	if base <= 1 {
+		t.Fatalf("MPI did not win at base dilation: %.2f", base)
+	}
+	rel := dilated / base
+	if rel < 0.8 || rel > 1.25 {
+		t.Fatalf("speedup unstable under 2x dilation: %.2f vs %.2f", base, dilated)
+	}
+}
+
+// TestWeakScalingShape asserts the paper's Fig 10 story on a small sweep:
+// IPoIB shuffle-read grows with worker count while MPI4Spark's stays
+// nearly flat, so the gap widens.
+func TestWeakScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-scale experiment")
+	}
+	o := Options{WorkerCounts: []int{2, 4}, BytesPerWorker: 2 << 20, SlotsPerWorker: 2, Seed: 2}
+	rows, _, err := RunFig10(o, "GroupBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := map[spark.Backend]map[int]float64{}
+	for _, r := range rows {
+		if read[r.Backend] == nil {
+			read[r.Backend] = map[int]float64{}
+		}
+		read[r.Backend][r.Workers] = float64(r.ShuffleRead)
+	}
+	ipoibGrowth := read[spark.BackendVanilla][4] / read[spark.BackendVanilla][2]
+	mpiGrowth := read[spark.BackendMPIOpt][4] / read[spark.BackendMPIOpt][2]
+	if ipoibGrowth <= mpiGrowth {
+		t.Fatalf("weak-scaling gap not widening: ipoib growth %.2f, mpi growth %.2f", ipoibGrowth, mpiGrowth)
+	}
+	for _, w := range []int{2, 4} {
+		if !(read[spark.BackendVanilla][w] > read[spark.BackendRDMA][w] &&
+			read[spark.BackendRDMA][w] > read[spark.BackendMPIOpt][w]) {
+			t.Fatalf("ordering broken at %d workers", w)
+		}
+	}
+}
+
+// TestFig9And11Smoke exercises the remaining experiment runners end to end
+// at a tiny scale.
+func TestFig9And11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-scale experiment")
+	}
+	o := Options{Workers: 2, WorkerCounts: []int{2}, BytesPerWorker: 256 << 10, TotalBytes: 512 << 10, SlotsPerWorker: 2, Seed: 4}
+	t9, err := RunFig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9.Rows) != 12 { // 2 benchmarks x 2 scales x 3 backends
+		t.Fatalf("fig9 rows = %d", len(t9.Rows))
+	}
+	rows, t11, err := RunFig11(o, "SortBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(t11.Rows) != 3 {
+		t.Fatalf("fig11 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 || r.ShuffleRead <= 0 {
+			t.Fatalf("empty scaling row: %+v", r)
+		}
+	}
+	if _, _, err := RunFig10(o, "bogus"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, _, err := RunFig12(o, Frontera, []string{"nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,377 @@
+package hibench
+
+import (
+	"math"
+	"math/rand"
+
+	"mpi4spark/internal/spark"
+)
+
+// MLConfig parameterizes the gradient-descent workloads (SVM, LR).
+type MLConfig struct {
+	Parts      int
+	PerPart    int
+	Dim        int
+	Iterations int
+	StepSize   float64
+	Seed       int64
+	// Branches is the treeAggregate fan-in (shuffle width).
+	Branches int
+}
+
+func (c *MLConfig) defaults() {
+	if c.Parts < 1 {
+		c.Parts = 4
+	}
+	if c.PerPart < 1 {
+		c.PerPart = 1000
+	}
+	if c.Dim < 1 {
+		c.Dim = 20
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 3
+	}
+	if c.StepSize <= 0 {
+		c.StepSize = 0.1
+	}
+	if c.Branches < 1 {
+		c.Branches = c.Parts/4 + 1
+	}
+}
+
+// RunSVM trains a linear SVM with hinge-loss gradient descent
+// (HiBench's SVM workload). The returned metric is the final hinge loss.
+func RunSVM(ctx *spark.Context, cfg MLConfig) (*Result, error) {
+	cfg.defaults()
+	return run(ctx, "SVM", func() (float64, error) {
+		points := pointsRDD(ctx, cfg.Parts, cfg.PerPart, cfg.Dim, cfg.Seed)
+		if _, err := spark.Count(points); err != nil { // materialize cache
+			return 0, err
+		}
+		w := make([]float64, cfg.Dim)
+		reg := 0.01
+		var loss float64
+		for it := 0; it < cfg.Iterations; it++ {
+			// Ship the model to the executors as a broadcast, like MLlib:
+			// the weight vector crosses the stream path once per executor.
+			wb := spark.NewBroadcast(ctx, append([]float64(nil), w...), 8*cfg.Dim)
+			grad, err := treeAggregate(points, cfg.Branches, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
+				weights := wb.Value(tc)
+				out := make([]float64, cfg.Dim+1) // gradient + loss tail
+				for _, p := range items {
+					margin := p.Label * dot(weights, p.Features)
+					if margin < 1 {
+						for d := range p.Features {
+							out[d] -= p.Label * p.Features[d]
+						}
+						out[cfg.Dim] += 1 - margin
+					}
+				}
+				chargeFlops(tc, len(items)*cfg.Dim*3)
+				return out
+			})
+			wb.Destroy()
+			if err != nil {
+				return 0, err
+			}
+			n := float64(cfg.Parts * cfg.PerPart)
+			for d := 0; d < cfg.Dim; d++ {
+				w[d] -= cfg.StepSize * (grad[d]/n + reg*w[d])
+			}
+			loss = grad[cfg.Dim] / n
+		}
+		return loss, nil
+	})
+}
+
+// RunLogisticRegression trains a binary logistic regression with gradient
+// descent (HiBench's LR workload). The metric is the final log-loss.
+func RunLogisticRegression(ctx *spark.Context, cfg MLConfig) (*Result, error) {
+	cfg.defaults()
+	return run(ctx, "LR", func() (float64, error) {
+		points := pointsRDD(ctx, cfg.Parts, cfg.PerPart, cfg.Dim, cfg.Seed)
+		if _, err := spark.Count(points); err != nil {
+			return 0, err
+		}
+		w := make([]float64, cfg.Dim)
+		var loss float64
+		for it := 0; it < cfg.Iterations; it++ {
+			wb := spark.NewBroadcast(ctx, append([]float64(nil), w...), 8*cfg.Dim)
+			grad, err := treeAggregate(points, cfg.Branches, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
+				weights := wb.Value(tc)
+				out := make([]float64, cfg.Dim+1)
+				for _, p := range items {
+					y := (p.Label + 1) / 2 // {-1,1} -> {0,1}
+					pr := logistic(dot(weights, p.Features))
+					diff := pr - y
+					for d := range p.Features {
+						out[d] += diff * p.Features[d]
+					}
+					out[cfg.Dim] += -y*math.Log(pr+1e-12) - (1-y)*math.Log(1-pr+1e-12)
+				}
+				chargeFlops(tc, len(items)*cfg.Dim*4)
+				return out
+			})
+			wb.Destroy()
+			if err != nil {
+				return 0, err
+			}
+			n := float64(cfg.Parts * cfg.PerPart)
+			for d := 0; d < cfg.Dim; d++ {
+				w[d] -= cfg.StepSize * grad[d] / n
+			}
+			loss = grad[cfg.Dim] / n
+		}
+		return loss, nil
+	})
+}
+
+// GMMConfig parameterizes the Gaussian Mixture Model workload.
+type GMMConfig struct {
+	Parts      int
+	PerPart    int
+	Dim        int
+	K          int
+	Iterations int
+	Seed       int64
+	Branches   int
+}
+
+func (c *GMMConfig) defaults() {
+	if c.Parts < 1 {
+		c.Parts = 4
+	}
+	if c.PerPart < 1 {
+		c.PerPart = 1000
+	}
+	if c.Dim < 1 {
+		c.Dim = 10
+	}
+	if c.K < 1 {
+		c.K = 4
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 3
+	}
+	if c.Branches < 1 {
+		c.Branches = c.Parts/4 + 1
+	}
+}
+
+// RunGMM fits a diagonal-covariance Gaussian mixture with EM (HiBench's
+// GMM workload). The metric is the final mean log-likelihood.
+func RunGMM(ctx *spark.Context, cfg GMMConfig) (*Result, error) {
+	cfg.defaults()
+	return run(ctx, "GMM", func() (float64, error) {
+		points := pointsRDD(ctx, cfg.Parts, cfg.PerPart, cfg.Dim, cfg.Seed)
+		if _, err := spark.Count(points); err != nil {
+			return 0, err
+		}
+		// Initialize k components deterministically.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		mu := make([][]float64, cfg.K)
+		sigma := make([][]float64, cfg.K)
+		pi := make([]float64, cfg.K)
+		for k := 0; k < cfg.K; k++ {
+			mu[k] = make([]float64, cfg.Dim)
+			sigma[k] = make([]float64, cfg.Dim)
+			for d := range mu[k] {
+				mu[k][d] = rng.NormFloat64()
+				sigma[k][d] = 1
+			}
+			pi[k] = 1 / float64(cfg.K)
+		}
+		// Sufficient statistics layout per component: weight, sum[dim],
+		// sqsum[dim]; plus one log-likelihood slot at the end.
+		statLen := cfg.K*(1+2*cfg.Dim) + 1
+		type gmmModel struct {
+			mu, sigma [][]float64
+			pi        []float64
+		}
+		var ll float64
+		for it := 0; it < cfg.Iterations; it++ {
+			mb := spark.NewBroadcast(ctx, gmmModel{mu: mu, sigma: sigma, pi: pi},
+				8*cfg.K*(2*cfg.Dim+1))
+			stats, err := treeAggregate(points, cfg.Branches, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
+				model := mb.Value(tc)
+				muS, sigmaS, piS := model.mu, model.sigma, model.pi
+				out := make([]float64, statLen)
+				resp := make([]float64, cfg.K)
+				for _, p := range items {
+					var total float64
+					for k := 0; k < cfg.K; k++ {
+						lp := math.Log(piS[k] + 1e-12)
+						for d := 0; d < cfg.Dim; d++ {
+							diff := p.Features[d] - muS[k][d]
+							lp += -0.5*(diff*diff)/sigmaS[k][d] - 0.5*math.Log(2*math.Pi*sigmaS[k][d])
+						}
+						resp[k] = math.Exp(lp)
+						total += resp[k]
+					}
+					out[statLen-1] += math.Log(total + 1e-300)
+					for k := 0; k < cfg.K; k++ {
+						r := resp[k] / (total + 1e-300)
+						base := k * (1 + 2*cfg.Dim)
+						out[base] += r
+						for d := 0; d < cfg.Dim; d++ {
+							out[base+1+d] += r * p.Features[d]
+							out[base+1+cfg.Dim+d] += r * p.Features[d] * p.Features[d]
+						}
+					}
+				}
+				chargeFlops(tc, len(items)*cfg.K*cfg.Dim*6)
+				return out
+			})
+			mb.Destroy()
+			if err != nil {
+				return 0, err
+			}
+			n := float64(cfg.Parts * cfg.PerPart)
+			newMu := make([][]float64, cfg.K)
+			newSigma := make([][]float64, cfg.K)
+			newPi := make([]float64, cfg.K)
+			for k := 0; k < cfg.K; k++ {
+				base := k * (1 + 2*cfg.Dim)
+				wk := stats[base]
+				newPi[k] = wk / n
+				newMu[k] = make([]float64, cfg.Dim)
+				newSigma[k] = make([]float64, cfg.Dim)
+				for d := 0; d < cfg.Dim; d++ {
+					if wk > 1e-9 {
+						newMu[k][d] = stats[base+1+d] / wk
+						newSigma[k][d] = stats[base+1+cfg.Dim+d]/wk - newMu[k][d]*newMu[k][d]
+					} else {
+						newMu[k][d] = mu[k][d]
+						newSigma[k][d] = sigma[k][d]
+					}
+					if newSigma[k][d] < 1e-6 {
+						newSigma[k][d] = 1e-6
+					}
+				}
+			}
+			mu, sigma, pi = newMu, newSigma, newPi
+			ll = stats[statLen-1] / n
+		}
+		return ll, nil
+	})
+}
+
+// LDAConfig parameterizes the Latent Dirichlet Allocation workload.
+type LDAConfig struct {
+	Parts      int
+	DocsPer    int
+	Vocab      int
+	WordsPer   int
+	K          int
+	Iterations int
+	Seed       int64
+}
+
+func (c *LDAConfig) defaults() {
+	if c.Parts < 1 {
+		c.Parts = 4
+	}
+	if c.DocsPer < 1 {
+		c.DocsPer = 100
+	}
+	if c.Vocab < 1 {
+		c.Vocab = 1000
+	}
+	if c.WordsPer < 1 {
+		c.WordsPer = 50
+	}
+	if c.K < 1 {
+		c.K = 8
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 3
+	}
+}
+
+// doc is one document: distinct word ids and their counts.
+type doc struct {
+	words  []int64
+	counts []float64
+}
+
+// RunLDA runs an EM-style topic-model iteration loop (HiBench's LDA): each
+// iteration scatters per-word topic contributions and reduces them over
+// the vocabulary — a vocabulary-wide shuffle per iteration, which is why
+// LDA shows the largest ML-suite gains in the paper. The metric is a
+// pseudo log-likelihood.
+func RunLDA(ctx *spark.Context, cfg LDAConfig) (*Result, error) {
+	cfg.defaults()
+	return run(ctx, "LDA", func() (float64, error) {
+		docs := spark.Generate(ctx, cfg.Parts, func(part int, tc *spark.TaskContext) []doc {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(part)))
+			out := make([]doc, cfg.DocsPer)
+			for i := range out {
+				words := make([]int64, cfg.WordsPer)
+				counts := make([]float64, cfg.WordsPer)
+				for j := range words {
+					words[j] = rng.Int63n(int64(cfg.Vocab))
+					counts[j] = float64(1 + rng.Intn(5))
+				}
+				out[i] = doc{words: words, counts: counts}
+			}
+			tc.ChargeRecords(cfg.DocsPer, cfg.DocsPer*cfg.WordsPer*12)
+			return out
+		}).Cache()
+		if _, err := spark.Count(docs); err != nil {
+			return 0, err
+		}
+
+		// Topic-word weights, driver-resident between iterations (MLlib's
+		// EM LDA keeps them in the GraphX edge partitioning; here the
+		// shuffle carries the per-word updates).
+		topicWord := make(map[int64][]float64)
+		var ll float64
+		for it := 0; it < cfg.Iterations; it++ {
+			// The topic-word matrix is broadcast to the executors each
+			// iteration (vocab x K doubles), as MLlib distributes the
+			// expectation-step model.
+			pb := spark.NewBroadcast(ctx, topicWord, len(topicWord)*(8+8*cfg.K))
+			itSeed := cfg.Seed + int64(it)
+			contrib := spark.FlatMapTC(docs, func(tc *spark.TaskContext, d doc) []spark.Pair[int64, []float64] {
+				prior := pb.Value(tc)
+				out := make([]spark.Pair[int64, []float64], len(d.words))
+				for i, w := range d.words {
+					vec := make([]float64, cfg.K)
+					base := prior[w]
+					for k := 0; k < cfg.K; k++ {
+						p := 1.0 / float64(cfg.K)
+						if base != nil {
+							p = base[k] + 1e-6
+						}
+						// Deterministic pseudo E-step weighting.
+						vec[k] = d.counts[i] * p * (1 + 0.01*float64((w+int64(k)+itSeed)%7))
+					}
+					out[i] = spark.Pair[int64, []float64]{K: w, V: vec}
+				}
+				return out
+			})
+			reduced := spark.ReduceByKey(contrib, vecConf(cfg.Parts), addVec)
+			rows, err := spark.Collect(reduced)
+			pb.Destroy()
+			if err != nil {
+				return 0, err
+			}
+			topicWord = make(map[int64][]float64, len(rows))
+			ll = 0
+			for _, r := range rows {
+				var sum float64
+				for _, v := range r.V {
+					sum += v
+				}
+				norm := make([]float64, cfg.K)
+				for k := range norm {
+					norm[k] = r.V[k] / (sum + 1e-12)
+				}
+				topicWord[r.K] = norm
+				ll += math.Log(sum + 1e-12)
+			}
+		}
+		return ll, nil
+	})
+}

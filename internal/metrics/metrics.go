@@ -1,0 +1,117 @@
+// Package metrics provides the result-table plumbing shared by the
+// experiment harness and the command-line tools: tabular results with
+// aligned text and Markdown rendering, and speedup arithmetic.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mpi4spark/internal/vtime"
+)
+
+// Table is a titled result grid.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form lines printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case vtime.Stamp:
+			row[i] = FormatDuration(x.AsDuration())
+		case time.Duration:
+			row[i] = FormatDuration(x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatDuration renders a duration with benchmark-friendly precision.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for i := range t.Columns {
+		fmt.Fprintf(w, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteMarkdown renders the table as GitHub Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n\n", t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	fmt.Fprintln(w)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "*%s*\n\n", n)
+	}
+}
+
+// Speedup returns base/other (how many times faster `other` is than
+// `base`), guarding zero.
+func Speedup(base, other vtime.Stamp) float64 {
+	if other <= 0 {
+		return 0
+	}
+	return float64(base) / float64(other)
+}

@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"mpi4spark/internal/fabric"
+)
+
+func benchComm(n int) *Comm {
+	f := fabric.New(fabric.NewIBHDRModel())
+	nodes := make([]*fabric.Node, n)
+	for i := range nodes {
+		nodes[i] = f.AddNode(fmt.Sprintf("n%d", i))
+	}
+	return NewWorld(f).InitWorld(nodes)
+}
+
+// BenchmarkP2P measures simulation throughput of the matching engine for
+// eager and rendezvous paths (wall time; virtual time is modeled).
+func BenchmarkP2P(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			c := benchComm(2)
+			payload := make([]byte, size)
+			done := make(chan struct{})
+			go func() {
+				h := c.Handle(1)
+				for i := 0; i < b.N; i++ {
+					h.Recv(0, 1, 0)
+				}
+				close(done)
+			}()
+			h := c.Handle(0)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Send(1, 1, payload, 0)
+			}
+			<-done
+		})
+	}
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	c := benchComm(8)
+	payload := EncodeFloat64s(make([]float64, 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan struct{})
+		for r := 0; r < 8; r++ {
+			go func(rank int) {
+				c.Handle(rank).Allreduce(payload, SumFloat64s, 0)
+				if rank == 0 {
+					close(done)
+				}
+			}(r)
+		}
+		<-done
+	}
+}
+
+func BenchmarkAlltoall4(b *testing.B) {
+	c := benchComm(4)
+	parts := make([][]byte, 4)
+	for i := range parts {
+		parts[i] = make([]byte, 8<<10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan struct{}, 4)
+		for r := 0; r < 4; r++ {
+			go func(rank int) {
+				c.Handle(rank).Alltoall(parts, 0)
+				done <- struct{}{}
+			}(r)
+		}
+		for r := 0; r < 4; r++ {
+			<-done
+		}
+	}
+}

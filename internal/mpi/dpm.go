@@ -1,0 +1,238 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+// DefaultSpawnLatency models the per-spawn process launch cost (fork/exec
+// of a JVM-sized executor in the paper's setting is far larger; this covers
+// the MPI-side DPM cost. Executor startup cost is modeled by the Spark
+// layer on top).
+const DefaultSpawnLatency = 2 * time.Millisecond
+
+// SpawnSpec describes one group of processes to spawn on a node, the Go
+// analogue of one entry in MPI_Comm_spawn_multiple's array of (command,
+// argv, maxprocs, info).
+type SpawnSpec struct {
+	// Node is where the processes run.
+	Node *fabric.Node
+	// Count is the number of processes for this spec.
+	Count int
+	// Args is an opaque argument blob (the executor launch command in
+	// MPI4Spark); it is exchanged across the parent communicator with
+	// Allgather before the spawn, as the paper describes.
+	Args []byte
+	// Main is the program the spawned processes run. It receives the
+	// child's context. It runs on its own goroutine.
+	Main func(ctx *ChildContext)
+}
+
+// ChildContext is what a spawned process starts with: its own world
+// (MPI_COMM_WORLD of the children) and the intercommunicator to the
+// parents (MPI_Comm_get_parent).
+type ChildContext struct {
+	// World is the child's handle on the communicator spanning all
+	// processes created by this spawn (DPM_COMM in the paper's Figure 3).
+	World *Handle
+	// Parent is the child's handle on the intercommunicator to the parent
+	// group.
+	Parent *Handle
+	// Args is this process's SpawnSpec argument blob.
+	Args []byte
+	// StartVT is the virtual time at which the process begins executing.
+	StartVT vtime.Stamp
+}
+
+// spawnResult is root's published outcome of a collective spawn.
+type spawnResult struct {
+	parentView *Comm
+	wg         *sync.WaitGroup
+}
+
+// SpawnMultiple is MPI_Comm_spawn_multiple: a collective over the parent
+// communicator that launches the processes described by specs and returns
+// each parent's handle on the new intercommunicator. Only root's specs are
+// consulted, matching MPI semantics; the launch arguments inside are first
+// allgathered across the parents (the paper's mechanism for making every
+// worker know all executor commands).
+func (h *Handle) SpawnMultiple(specs []SpawnSpec, root int, at vtime.Stamp) (*Handle, vtime.Stamp) {
+	c := h.comm
+	seq := int64(c.nextCollBlock(h.rank)) // doubles as the spawn instance key
+
+	// Exchange launch arguments across parents (MPI_Allgather per paper §V).
+	var argBlob []byte
+	for _, s := range specs {
+		argBlob = append(argBlob, s.Args...)
+	}
+	_, vt := h.Allgather(argBlob, at)
+
+	if h.rank == root {
+		w := c.world
+		var children []*Proc
+		var childArgs [][]byte
+		var mains []func(ctx *ChildContext)
+		for _, s := range specs {
+			count := s.Count
+			if count <= 0 {
+				count = 1
+			}
+			for i := 0; i < count; i++ {
+				children = append(children, w.NewProc(s.Node))
+				childArgs = append(childArgs, s.Args)
+				mains = append(mains, s.Main)
+			}
+		}
+		childComm := w.NewComm(children)
+		parentView, childView := w.newIntercommPair(c.procs, children)
+
+		var wg sync.WaitGroup
+		res := &spawnResult{parentView: parentView, wg: &wg}
+		c.spawnMu.Lock()
+		if c.spawnRes == nil {
+			c.spawnRes = make(map[int64]*spawnResult)
+		}
+		c.spawnRes[seq] = res
+		c.spawnMu.Unlock()
+
+		startVT := vt.Add(DefaultSpawnLatency)
+		for i := range children {
+			wg.Add(1)
+			ctx := &ChildContext{
+				World:   childComm.Handle(i),
+				Parent:  childView.Handle(i),
+				Args:    childArgs[i],
+				StartVT: startVT,
+			}
+			main := mains[i]
+			go func() {
+				defer wg.Done()
+				if main != nil {
+					main(ctx)
+				}
+			}()
+		}
+	}
+
+	// All parents synchronize; after the barrier the result is visible.
+	vt = h.Barrier(vt)
+	vt = vt.Add(DefaultSpawnLatency)
+
+	c.spawnMu.Lock()
+	res := c.spawnRes[seq]
+	c.spawnMu.Unlock()
+	if res == nil {
+		panic(fmt.Sprintf("mpi: spawn result missing for seq %d (root did not spawn?)", seq))
+	}
+	return res.parentView.Handle(h.rank), vt
+}
+
+// newIntercommPair builds the two mirror views of an intercommunicator
+// joining groups a and b. Both views share one context id so point-to-point
+// matching works across them.
+func (w *World) newIntercommPair(a, b []*Proc) (aView, bView *Comm) {
+	w.mu.Lock()
+	id := w.commSeq
+	w.commSeq++
+	w.mu.Unlock()
+	ac := append([]*Proc(nil), a...)
+	bc := append([]*Proc(nil), b...)
+	aView = &Comm{id: id, world: w, procs: ac, remote: bc}
+	bView = &Comm{id: id, world: w, procs: bc, remote: ac}
+	return aView, bView
+}
+
+// connectReq is the server-side rendezvous record for CommConnect/Accept.
+type connectReq struct {
+	clientComm *Comm
+	reply      chan *Comm // carries the client's view of the intercomm
+}
+
+// OpenPort registers a named port for CommAccept, like MPI_Open_port. It
+// returns the port name.
+func (w *World) OpenPort(name string) (string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.ports[name]; ok {
+		return "", fmt.Errorf("mpi: port %q already open", name)
+	}
+	w.ports[name] = make(chan *connectReq, 16)
+	return name, nil
+}
+
+// ClosePort unregisters a port.
+func (w *World) ClosePort(name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.ports, name)
+}
+
+// Accept is MPI_Comm_accept: a collective over h's communicator that waits
+// for a client Connect on the named port and returns the intercommunicator
+// to the client group. The paper lists this pair as the basis for planned
+// fault tolerance; it is implemented here as an extension.
+func (h *Handle) Accept(port string, root int, at vtime.Stamp) (*Handle, vtime.Stamp) {
+	c := h.comm
+	seq := int64(c.nextCollBlock(h.rank))
+	if h.rank == root {
+		c.world.mu.Lock()
+		ch := c.world.ports[port]
+		c.world.mu.Unlock()
+		if ch == nil {
+			panic(fmt.Sprintf("mpi: Accept on closed port %q", port))
+		}
+		req := <-ch
+		serverView, clientView := c.world.newIntercommPair(c.procs, req.clientComm.procs)
+		req.reply <- clientView
+		c.spawnMu.Lock()
+		if c.spawnRes == nil {
+			c.spawnRes = make(map[int64]*spawnResult)
+		}
+		c.spawnRes[seq] = &spawnResult{parentView: serverView}
+		c.spawnMu.Unlock()
+	}
+	vt := h.Barrier(at)
+	c.spawnMu.Lock()
+	res := c.spawnRes[seq]
+	c.spawnMu.Unlock()
+	// Model one connection-establishment round trip.
+	cost := c.world.fabric.Model().Costs[fabric.MPIEager]
+	vt = vt.Add(2 * (cost.Latency + cost.SendOverhead + cost.RecvOverhead))
+	return res.parentView.Handle(h.rank), vt
+}
+
+// Connect is MPI_Comm_connect: a collective over h's communicator that
+// connects to a server's named port and returns the intercommunicator to
+// the server group.
+func (h *Handle) Connect(port string, root int, at vtime.Stamp) (*Handle, vtime.Stamp) {
+	c := h.comm
+	seq := int64(c.nextCollBlock(h.rank))
+	if h.rank == root {
+		c.world.mu.Lock()
+		ch := c.world.ports[port]
+		c.world.mu.Unlock()
+		if ch == nil {
+			panic(fmt.Sprintf("mpi: Connect to unknown port %q", port))
+		}
+		reply := make(chan *Comm, 1)
+		ch <- &connectReq{clientComm: c, reply: reply}
+		clientView := <-reply
+		c.spawnMu.Lock()
+		if c.spawnRes == nil {
+			c.spawnRes = make(map[int64]*spawnResult)
+		}
+		c.spawnRes[seq] = &spawnResult{parentView: clientView}
+		c.spawnMu.Unlock()
+	}
+	vt := h.Barrier(at)
+	c.spawnMu.Lock()
+	res := c.spawnRes[seq]
+	c.spawnMu.Unlock()
+	cost := c.world.fabric.Model().Costs[fabric.MPIEager]
+	vt = vt.Add(2 * (cost.Latency + cost.SendOverhead + cost.RecvOverhead))
+	return res.parentView.Handle(h.rank), vt
+}

@@ -1,0 +1,181 @@
+package mpi
+
+import (
+	"sync"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+// rtsBytes is the wire size of a rendezvous ready-to-send control message.
+const rtsBytes = 64
+
+// ctsBytes is the wire size of a rendezvous clear-to-send control message.
+const ctsBytes = 16
+
+// message is one in-flight point-to-point message at a receiver.
+type message struct {
+	comm int64
+	src  int // source rank, in the receiver's addressing
+	tag  int
+	data []byte
+	// vt is the virtual time the payload is available (eager) or the RTS
+	// envelope arrived (rendezvous, until completed).
+	vt   vtime.Stamp
+	rndv *rndvState
+}
+
+// rndvState tracks an incomplete rendezvous transfer.
+type rndvState struct {
+	fab         *fabric.Fabric
+	from, to    *fabric.Node
+	size        int
+	senderReady vtime.Stamp      // sender CPU time after posting the RTS
+	done        chan vtime.Stamp // receives the sender's completion time
+}
+
+// complete runs the CTS handshake and the bulk transfer in virtual time.
+// matchVT is the virtual time at which the receiver matched the RTS (its
+// recv-post time, or its recv-call time for an unexpected message).
+// It returns the payload delivery time and unblocks the sender.
+func (m *message) complete(matchVT vtime.Stamp) vtime.Stamp {
+	r := m.rndv
+	if r == nil {
+		return m.vt
+	}
+	ctsStart := vtime.Max(m.vt, matchVT)
+	_, ctsArrive := r.fab.Transfer(r.to, r.from, fabric.MPIEager, ctsBytes, ctsStart)
+	dataStart := vtime.Max(ctsArrive, r.senderReady)
+	cpuFree, deliver := r.fab.Transfer(r.from, r.to, fabric.MPIRendezvous, r.size, dataStart)
+	m.vt = deliver
+	m.rndv = nil
+	r.done <- cpuFree
+	return deliver
+}
+
+// postedRecv is a receive posted before its message arrived.
+type postedRecv struct {
+	comm   int64
+	src    int
+	tag    int
+	postVT vtime.Stamp
+	done   chan *message
+}
+
+func (pr *postedRecv) matches(m *message) bool {
+	return pr.comm == m.comm &&
+		(pr.src == AnySource || pr.src == m.src) &&
+		(pr.tag == AnyTag || pr.tag == m.tag)
+}
+
+// engine is a process's matching engine: the posted-receive queue and the
+// unexpected-message queue, with MPI matching semantics.
+type engine struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	unexpected []*message
+	posted     []*postedRecv
+}
+
+func newEngine() *engine {
+	e := &engine{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// deliver hands an arriving message to the engine: it matches the oldest
+// compatible posted receive, or queues the message as unexpected.
+// Rendezvous completion for a matched posted receive happens here, using
+// the receive's post time — the progress-engine behaviour of a real MPI.
+func (e *engine) deliver(m *message) {
+	e.mu.Lock()
+	for i, pr := range e.posted {
+		if pr.matches(m) {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			e.mu.Unlock()
+			m.complete(pr.postVT)
+			pr.done <- m
+			return
+		}
+	}
+	e.unexpected = append(e.unexpected, m)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// matchUnexpected removes and returns the oldest unexpected message
+// matching (comm, src, tag), or nil.
+func (e *engine) matchUnexpected(comm int64, src, tag int) *message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.matchUnexpectedLocked(comm, src, tag)
+}
+
+func (e *engine) matchUnexpectedLocked(comm int64, src, tag int) *message {
+	probe := &postedRecv{comm: comm, src: src, tag: tag}
+	for i, m := range e.unexpected {
+		if probe.matches(m) {
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// post registers a receive; the caller must first have failed to match the
+// unexpected queue (postOrMatch does both atomically).
+func (e *engine) postOrMatch(comm int64, src, tag int, postVT vtime.Stamp) (*message, *postedRecv) {
+	e.mu.Lock()
+	if m := e.matchUnexpectedLocked(comm, src, tag); m != nil {
+		e.mu.Unlock()
+		return m, nil
+	}
+	pr := &postedRecv{comm: comm, src: src, tag: tag, postVT: postVT, done: make(chan *message, 1)}
+	e.posted = append(e.posted, pr)
+	e.mu.Unlock()
+	return nil, pr
+}
+
+// iprobe reports whether a matching message is queued, without consuming
+// it, and fills in its status.
+func (e *engine) iprobe(comm int64, src, tag int, at vtime.Stamp) (bool, Status) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	probe := &postedRecv{comm: comm, src: src, tag: tag}
+	for _, m := range e.unexpected {
+		if probe.matches(m) {
+			size := len(m.data)
+			if m.rndv != nil {
+				size = m.rndv.size
+			}
+			return true, Status{Source: m.src, Tag: m.tag, Count: size, VT: vtime.Max(at, m.vt)}
+		}
+	}
+	return false, Status{}
+}
+
+// probe blocks until a matching message is queued.
+func (e *engine) probe(comm int64, src, tag int, at vtime.Stamp) Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	probeKey := &postedRecv{comm: comm, src: src, tag: tag}
+	for {
+		for _, m := range e.unexpected {
+			if probeKey.matches(m) {
+				size := len(m.data)
+				if m.rndv != nil {
+					size = m.rndv.size
+				}
+				return Status{Source: m.src, Tag: m.tag, Count: size, VT: vtime.Max(at, m.vt)}
+			}
+		}
+		e.cond.Wait()
+	}
+}
+
+// pendingCount reports the number of unexpected messages (diagnostics).
+func (e *engine) pendingCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.unexpected)
+}

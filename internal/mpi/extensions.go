@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+// Sendrecv performs a combined send and receive (MPI_Sendrecv): the send
+// and the receive progress concurrently, so symmetric exchanges cannot
+// deadlock.
+func (h *Handle) Sendrecv(dest, sendTag int, data []byte, source, recvTag int, at vtime.Stamp) ([]byte, Status, vtime.Stamp) {
+	sreq := h.Isend(dest, sendTag, data, at)
+	recvData, st := h.Recv(source, recvTag, at)
+	done := sreq.Wait(at)
+	return recvData, st, vtime.Max(done, st.VT)
+}
+
+// IntercommMerge is MPI_Intercomm_merge: it builds an intracommunicator
+// spanning both groups of an intercommunicator. When high is false the
+// caller's local group gets the low ranks; the other group follows. All
+// processes of both groups must call it, with one group passing high=true
+// and the other high=false.
+func (h *Handle) IntercommMerge(high bool, at vtime.Stamp) (*Handle, vtime.Stamp) {
+	c := h.comm
+	if c.remote == nil {
+		panic("mpi: IntercommMerge on an intracommunicator")
+	}
+	var low, highG []*Proc
+	if high {
+		low, highG = c.remote, c.procs
+	} else {
+		low, highG = c.procs, c.remote
+	}
+	merged, vt := c.world.mergeRendezvous(c.id, low, highG, len(c.procs)+len(c.remote), at)
+	base := 0
+	if high {
+		base = len(c.remote)
+	}
+	return merged.Handle(base + h.rank), vt
+}
+
+// mergeState coordinates one intercommunicator's merge across both groups.
+type mergeState struct {
+	comm    *Comm
+	waiting int
+	maxVT   vtime.Stamp
+	done    chan struct{}
+}
+
+// mergeRendezvous returns the shared merged communicator for the intercomm
+// with context id ctxID, creating it on first arrival and releasing every
+// caller once all participants have arrived (the collective's barrier
+// semantics). The returned stamp is the latest arrival plus the modeled
+// merge exchange.
+func (w *World) mergeRendezvous(ctxID int64, low, high []*Proc, participants int, at vtime.Stamp) (*Comm, vtime.Stamp) {
+	w.mu.Lock()
+	if w.merges == nil {
+		w.merges = make(map[int64]*mergeState)
+	}
+	st, ok := w.merges[ctxID]
+	if !ok {
+		all := append(append([]*Proc(nil), low...), high...)
+		// Inline communicator creation: w.mu is already held.
+		id := w.commSeq
+		w.commSeq++
+		st = &mergeState{
+			comm:    &Comm{id: id, world: w, procs: all},
+			waiting: participants,
+			done:    make(chan struct{}),
+		}
+		w.merges[ctxID] = st
+	}
+	if at > st.maxVT {
+		st.maxVT = at
+	}
+	st.waiting--
+	if st.waiting == 0 {
+		delete(w.merges, ctxID) // allow later merges of the same intercomm
+		close(st.done)
+	}
+	w.mu.Unlock()
+	<-st.done
+	w.mu.Lock()
+	vt := st.maxVT
+	w.mu.Unlock()
+	// One cross-group exchange to distribute the new context id.
+	cost := w.fabric.Model().Costs[fabric.MPIEager]
+	return st.comm, vt.Add(2 * (cost.Latency + cost.SendOverhead + cost.RecvOverhead))
+}
+
+// SumFloat64s is a ReduceOp summing float64 vectors encoded with
+// EncodeFloat64s (element-wise; shorter operands are zero-extended).
+func SumFloat64s(a, b []byte) []byte {
+	av, bv := DecodeFloat64s(a), DecodeFloat64s(b)
+	if len(av) < len(bv) {
+		av, bv = bv, av
+	}
+	out := append([]float64(nil), av...)
+	for i := range bv {
+		out[i] += bv[i]
+	}
+	return EncodeFloat64s(out)
+}
+
+// SumInt64 is a ReduceOp summing single big-endian int64 payloads.
+func SumInt64(a, b []byte) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, uint64(DecodeInt64(a)+DecodeInt64(b)))
+	return out
+}
+
+// MaxInt64 is a ReduceOp taking the max of single int64 payloads.
+func MaxInt64(a, b []byte) []byte {
+	x, y := DecodeInt64(a), DecodeInt64(b)
+	if y > x {
+		x = y
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, uint64(x))
+	return out
+}
+
+// EncodeInt64 encodes v big-endian.
+func EncodeInt64(v int64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, uint64(v))
+	return out
+}
+
+// DecodeInt64 decodes a big-endian int64 (zero for short payloads).
+func DecodeInt64(p []byte) int64 {
+	if len(p) < 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(p))
+}
+
+// EncodeFloat64s encodes a float64 vector.
+func EncodeFloat64s(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeFloat64s decodes a float64 vector.
+func DecodeFloat64s(p []byte) []float64 {
+	out := make([]float64, len(p)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(p[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,693 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+// newTestComm builds a world with n processes, one per node.
+func newTestComm(t *testing.T, n int, model *fabric.Model) *Comm {
+	t.Helper()
+	f := fabric.New(model)
+	nodes := make([]*fabric.Node, n)
+	for i := range nodes {
+		nodes[i] = f.AddNode(fmt.Sprintf("node%d", i))
+	}
+	w := NewWorld(f)
+	return w.InitWorld(nodes)
+}
+
+// spmd runs body once per rank concurrently and waits for all.
+func spmd(t *testing.T, c *Comm, body func(h *Handle)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for r := 0; r < c.Size(); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(c.Handle(rank))
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("SPMD program deadlocked")
+	}
+}
+
+func TestSendRecvEager(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	spmd(t, c, func(h *Handle) {
+		switch h.Rank() {
+		case 0:
+			free := h.Send(1, 5, []byte("payload"), 100)
+			if free <= 100 {
+				t.Errorf("send cpu-free %v not after start", free)
+			}
+		case 1:
+			data, st := h.Recv(0, 5, 0)
+			if string(data) != "payload" {
+				t.Errorf("data = %q", data)
+			}
+			if st.Source != 0 || st.Tag != 5 || st.Count != 7 {
+				t.Errorf("status = %+v", st)
+			}
+			if st.VT <= 0 {
+				t.Errorf("recv VT = %v", st.VT)
+			}
+		}
+	})
+}
+
+func TestSendRecvRendezvous(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	big := make([]byte, 1<<20) // over the eager threshold
+	big[0], big[len(big)-1] = 0xA, 0xB
+	spmd(t, c, func(h *Handle) {
+		switch h.Rank() {
+		case 0:
+			h.Send(1, 1, big, 0)
+		case 1:
+			data, st := h.Recv(0, 1, 0)
+			if len(data) != 1<<20 || data[0] != 0xA || data[len(data)-1] != 0xB {
+				t.Error("rendezvous payload corrupted")
+			}
+			// Rendezvous must include RTS+CTS round trip plus bulk transfer.
+			f := h.Comm().world.fabric
+			minTime := vtime.Duration(f.TransferTime(fabric.MPIRendezvous, 1<<20))
+			if st.VT < minTime {
+				t.Errorf("rendezvous VT %v below bulk transfer floor %v", st.VT, minTime)
+			}
+		}
+	})
+}
+
+func TestRendezvousSenderBlocksUntilMatch(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	big := make([]byte, 256<<10)
+	sendReturned := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h := c.Handle(0)
+		h.Send(1, 9, big, 0)
+		close(sendReturned)
+	}()
+	go func() {
+		defer wg.Done()
+		<-release
+		h := c.Handle(1)
+		h.Recv(0, 9, 0)
+	}()
+	select {
+	case <-sendReturned:
+		t.Fatal("rendezvous Send returned before receiver matched")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestEagerDoesNotBlock(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	h := c.Handle(0)
+	done := make(chan struct{})
+	go func() {
+		h.Send(1, 3, []byte("small"), 0) // no receiver posted
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("eager send blocked without a receiver")
+	}
+}
+
+func TestWildcardSourceAndTag(t *testing.T) {
+	c := newTestComm(t, 3, fabric.NewZeroModel())
+	spmd(t, c, func(h *Handle) {
+		switch h.Rank() {
+		case 0, 1:
+			h.Send(2, 10+h.Rank(), []byte{byte(h.Rank())}, 0)
+		case 2:
+			seen := map[byte]bool{}
+			for i := 0; i < 2; i++ {
+				data, st := h.Recv(AnySource, AnyTag, 0)
+				seen[data[0]] = true
+				if st.Source != int(data[0]) {
+					t.Errorf("status source %d != payload %d", st.Source, data[0])
+				}
+				if st.Tag != 10+int(data[0]) {
+					t.Errorf("status tag %d", st.Tag)
+				}
+			}
+			if !seen[0] || !seen[1] {
+				t.Errorf("seen = %v", seen)
+			}
+		}
+	})
+}
+
+func TestNonOvertakingOrder(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewZeroModel())
+	spmd(t, c, func(h *Handle) {
+		const n = 50
+		switch h.Rank() {
+		case 0:
+			for i := 0; i < n; i++ {
+				h.Send(1, 7, []byte{byte(i)}, 0)
+			}
+		case 1:
+			for i := 0; i < n; i++ {
+				data, _ := h.Recv(0, 7, 0)
+				if data[0] != byte(i) {
+					t.Errorf("message %d overtaken by %d", i, data[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewZeroModel())
+	spmd(t, c, func(h *Handle) {
+		switch h.Rank() {
+		case 0:
+			h.Send(1, 1, []byte("first-sent"), 0)
+			h.Send(1, 2, []byte("second-sent"), 0)
+		case 1:
+			// Receive tag 2 first even though tag 1 arrived earlier.
+			d2, _ := h.Recv(0, 2, 0)
+			d1, _ := h.Recv(0, 1, 0)
+			if string(d2) != "second-sent" || string(d1) != "first-sent" {
+				t.Errorf("tag matching broken: %q, %q", d2, d1)
+			}
+		}
+	})
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	spmd(t, c, func(h *Handle) {
+		peer := 1 - h.Rank()
+		sreq := h.Isend(peer, 4, []byte{byte(h.Rank())}, 0)
+		rreq := h.Irecv(peer, 4, 0)
+		data, st := rreq.Wait(0)
+		if data[0] != byte(peer) {
+			t.Errorf("rank %d got %d", h.Rank(), data[0])
+		}
+		if st.VT <= 0 {
+			t.Errorf("VT = %v", st.VT)
+		}
+		sreq.Wait(0)
+	})
+}
+
+func TestRequestTest(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewZeroModel())
+	h1 := c.Handle(1)
+	rreq := h1.Irecv(0, 11, 0)
+	if rreq.Test() {
+		t.Fatal("Irecv Test true before send")
+	}
+	c.Handle(0).Send(1, 11, []byte("x"), 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for !rreq.Test() {
+		if time.Now().After(deadline) {
+			t.Fatal("Irecv never completed")
+		}
+	}
+	data, _ := rreq.Wait(0)
+	if string(data) != "x" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	h0, h1 := c.Handle(0), c.Handle(1)
+	if ok, _ := h1.Iprobe(0, 3, 0); ok {
+		t.Fatal("Iprobe true on empty queue")
+	}
+	h0.Send(1, 3, []byte("abc"), 0)
+	st := h1.Probe(0, 3, 0)
+	if st.Count != 3 || st.Source != 0 || st.Tag != 3 {
+		t.Fatalf("Probe status = %+v", st)
+	}
+	// Probe must not consume.
+	if ok, st2 := h1.Iprobe(0, 3, 0); !ok || st2.Count != 3 {
+		t.Fatalf("Iprobe after Probe = %v, %+v", ok, st2)
+	}
+	data, _ := h1.Recv(0, 3, 0)
+	if string(data) != "abc" {
+		t.Fatalf("data = %q", data)
+	}
+	if ok, _ := h1.Iprobe(0, 3, 0); ok {
+		t.Fatal("message still probed after Recv")
+	}
+}
+
+func TestProbeSeesRendezvousEnvelope(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	big := make([]byte, 512<<10)
+	go c.Handle(0).Send(1, 8, big, 0)
+	st := c.Handle(1).Probe(0, 8, 0)
+	if st.Count != len(big) {
+		t.Fatalf("probed count = %d, want %d", st.Count, len(big))
+	}
+	data, _ := c.Handle(1).Recv(0, 8, 0)
+	if len(data) != len(big) {
+		t.Fatalf("recv len = %d", len(data))
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	c := newTestComm(t, 1, fabric.NewIBHDRModel())
+	h := c.Handle(0)
+	h.Send(0, 1, []byte("self"), 0)
+	data, st := h.Recv(0, 1, 0)
+	if string(data) != "self" {
+		t.Fatalf("data = %q", data)
+	}
+	if st.VT <= 0 {
+		t.Fatal("self-send should still cost loopback time")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	c := newTestComm(t, 5, fabric.NewIBHDRModel())
+	exits := make([]vtime.Stamp, 5)
+	spmd(t, c, func(h *Handle) {
+		start := vtime.Stamp(int64(h.Rank()) * 1e6) // staggered entry
+		exits[h.Rank()] = h.Barrier(start)
+	})
+	// Every exit must be at or after the latest entry.
+	latest := vtime.Stamp(4e6)
+	for r, e := range exits {
+		if e < latest {
+			t.Errorf("rank %d exited barrier at %v, before last entry %v", r, e, latest)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		c := newTestComm(t, n, fabric.NewIBHDRModel())
+		spmd(t, c, func(h *Handle) {
+			var in []byte
+			if h.Rank() == 2%n {
+				in = []byte("broadcast-payload")
+			}
+			out, vt := h.Bcast(in, 2%n, 0)
+			if string(out) != "broadcast-payload" {
+				t.Errorf("n=%d rank %d got %q", n, h.Rank(), out)
+			}
+			if n > 1 && h.Rank() != 2%n && vt <= 0 {
+				t.Errorf("n=%d rank %d vt=%v", n, h.Rank(), vt)
+			}
+		})
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	c := newTestComm(t, n, fabric.NewZeroModel())
+	spmd(t, c, func(h *Handle) {
+		got, _ := h.Gather([]byte{byte(h.Rank() + 1)}, 0, 0)
+		if h.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if got[i][0] != byte(i+1) {
+					t.Errorf("gather[%d] = %d", i, got[i][0])
+				}
+			}
+		} else if got != nil {
+			t.Errorf("non-root gather result not nil")
+		}
+
+		var parts [][]byte
+		if h.Rank() == 0 {
+			parts = [][]byte{{10}, {11}, {12}, {13}}
+		}
+		mine, _ := h.Scatter(parts, 0, 0)
+		if mine[0] != byte(10+h.Rank()) {
+			t.Errorf("scatter rank %d = %d", h.Rank(), mine[0])
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		c := newTestComm(t, n, fabric.NewIBHDRModel())
+		spmd(t, c, func(h *Handle) {
+			out, _ := h.Allgather([]byte{byte(h.Rank() * 2)}, 0)
+			if len(out) != n {
+				t.Errorf("n=%d len=%d", n, len(out))
+				return
+			}
+			for i := 0; i < n; i++ {
+				if out[i][0] != byte(i*2) {
+					t.Errorf("n=%d rank %d out[%d]=%d", n, h.Rank(), i, out[i][0])
+				}
+			}
+		})
+	}
+}
+
+func sumOp(a, b []byte) []byte { return []byte{a[0] + b[0]} }
+
+func TestReduceAllreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		c := newTestComm(t, n, fabric.NewIBHDRModel())
+		want := byte(n * (n + 1) / 2)
+		spmd(t, c, func(h *Handle) {
+			out, _ := h.Reduce([]byte{byte(h.Rank() + 1)}, sumOp, 0, 0)
+			if h.Rank() == 0 && out[0] != want {
+				t.Errorf("n=%d reduce = %d, want %d", n, out[0], want)
+			}
+			all, _ := h.Allreduce([]byte{byte(h.Rank() + 1)}, sumOp, 0)
+			if all[0] != want {
+				t.Errorf("n=%d rank %d allreduce = %d, want %d", n, h.Rank(), all[0], want)
+			}
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	c := newTestComm(t, n, fabric.NewIBHDRModel())
+	spmd(t, c, func(h *Handle) {
+		parts := make([][]byte, n)
+		for i := range parts {
+			parts[i] = []byte{byte(h.Rank()*10 + i)}
+		}
+		out, _ := h.Alltoall(parts, 0)
+		for src := 0; src < n; src++ {
+			if out[src][0] != byte(src*10+h.Rank()) {
+				t.Errorf("rank %d from %d = %d", h.Rank(), src, out[src][0])
+			}
+		}
+	})
+}
+
+func TestCollectivesBackToBack(t *testing.T) {
+	// Two consecutive collectives on one communicator must not cross-match.
+	c := newTestComm(t, 4, fabric.NewZeroModel())
+	spmd(t, c, func(h *Handle) {
+		a, _ := h.Allgather([]byte{1}, 0)
+		b, _ := h.Allgather([]byte{2}, 0)
+		for i := range a {
+			if a[i][0] != 1 || b[i][0] != 2 {
+				t.Errorf("collective instances crossed: %v %v", a[i], b[i])
+			}
+		}
+	})
+}
+
+func TestSpawnMultiple(t *testing.T) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	nA, nB := f.AddNode("a"), f.AddNode("b")
+	w := NewWorld(f)
+	parents := w.InitWorld([]*fabric.Node{nA, nB})
+
+	childEcho := func(ctx *ChildContext) {
+		// Each child reports its world rank to parent rank 0 over the
+		// intercommunicator.
+		msg := []byte{byte(ctx.World.Rank())}
+		ctx.Parent.Send(0, 99, msg, ctx.StartVT)
+		// And participates in a child-world barrier (DPM_COMM traffic).
+		ctx.World.Barrier(ctx.StartVT)
+	}
+
+	var inter0 *Handle
+	spmd(t, parents, func(h *Handle) {
+		specs := []SpawnSpec{
+			{Node: nA, Count: 1, Args: []byte("exec-args-a"), Main: childEcho},
+			{Node: nB, Count: 1, Args: []byte("exec-args-b"), Main: childEcho},
+		}
+		inter, vt := h.SpawnMultiple(specs, 0, 0)
+		if vt <= 0 {
+			t.Errorf("spawn vt = %v", vt)
+		}
+		if inter.RemoteSize() != 2 {
+			t.Errorf("remote size = %d", inter.RemoteSize())
+		}
+		if h.Rank() == 0 {
+			inter0 = inter
+		}
+	})
+
+	seen := map[byte]bool{}
+	for i := 0; i < 2; i++ {
+		data, st := inter0.Recv(AnySource, 99, 0)
+		seen[data[0]] = true
+		if st.Source != int(data[0]) {
+			t.Errorf("intercomm source %d vs payload %d", st.Source, data[0])
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("child ranks seen = %v", seen)
+	}
+}
+
+func TestConnectAccept(t *testing.T) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	n0, n1 := f.AddNode("s"), f.AddNode("c")
+	w := NewWorld(f)
+	server := w.NewComm([]*Proc{w.NewProc(n0)})
+	client := w.NewComm([]*Proc{w.NewProc(n1)})
+	if _, err := w.OpenPort("spark-recovery"); err != nil {
+		t.Fatal(err)
+	}
+	defer w.ClosePort("spark-recovery")
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h, _ := server.Handle(0).Accept("spark-recovery", 0, 0)
+		data, _ := h.Recv(0, 1, 0)
+		h.Send(0, 2, append(data, '!'), 0)
+	}()
+	go func() {
+		defer wg.Done()
+		h, _ := client.Handle(0).Connect("spark-recovery", 0, 0)
+		h.Send(0, 1, []byte("hello"), 0)
+		data, _ := h.Recv(0, 2, 0)
+		if string(data) != "hello!" {
+			t.Errorf("reply = %q", data)
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("connect/accept deadlocked")
+	}
+}
+
+func TestOpenPortDuplicate(t *testing.T) {
+	w := NewWorld(fabric.New(fabric.NewZeroModel()))
+	if _, err := w.OpenPort("p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.OpenPort("p"); err == nil {
+		t.Fatal("duplicate OpenPort succeeded")
+	}
+}
+
+func TestHandleOutOfRangePanics(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewZeroModel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Handle(5) did not panic")
+		}
+	}()
+	c.Handle(5)
+}
+
+// Property: an alltoall of random payloads is a permutation-correct
+// transpose, regardless of sizes (mixing eager and rendezvous paths).
+func TestAlltoallTransposeProperty(t *testing.T) {
+	const n = 3
+	c := newTestComm(t, n, fabric.NewIBHDRModel())
+	f := func(seed uint8, sizes [n * n]uint16) bool {
+		in := make([][][]byte, n)
+		for r := 0; r < n; r++ {
+			in[r] = make([][]byte, n)
+			for d := 0; d < n; d++ {
+				sz := int(sizes[r*n+d])
+				buf := bytes.Repeat([]byte{seed ^ byte(r*16+d)}, sz+1)
+				in[r][d] = buf
+			}
+		}
+		out := make([][][]byte, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				out[rank], _ = c.Handle(rank).Alltoall(in[rank], 0)
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < n; r++ {
+			for s := 0; s < n; s++ {
+				if !bytes.Equal(out[r][s], in[s][r]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocTagUniqueAndAboveUserSpace(t *testing.T) {
+	a, b := AllocTag(), AllocTag()
+	if a == b {
+		t.Fatal("AllocTag repeated")
+	}
+	if a < 1<<20 || a >= collTagBase {
+		t.Fatalf("AllocTag %d outside reserved band", a)
+	}
+}
+
+func TestSendrecvSymmetricExchange(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewIBHDRModel())
+	spmd(t, c, func(h *Handle) {
+		peer := 1 - h.Rank()
+		big := make([]byte, 256<<10) // rendezvous-sized both ways
+		big[0] = byte(h.Rank())
+		data, st, vt := h.Sendrecv(peer, 7, big, peer, 7, 0)
+		if data[0] != byte(peer) {
+			t.Errorf("rank %d got payload from %d", h.Rank(), data[0])
+		}
+		if st.Source != peer || vt <= 0 {
+			t.Errorf("status = %+v, vt = %v", st, vt)
+		}
+	})
+}
+
+func TestIntercommMerge(t *testing.T) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	nA, nB := f.AddNode("a"), f.AddNode("b")
+	w := NewWorld(f)
+	parents := w.InitWorld([]*fabric.Node{nA, nB})
+
+	type res struct {
+		rank, size int
+	}
+	results := make(chan res, 4)
+	childMain := func(ctx *ChildContext) {
+		merged, _ := ctx.Parent.IntercommMerge(true, ctx.StartVT) // children high
+		results <- res{rank: merged.Rank(), size: merged.Size()}
+		// The merged communicator is a working intracomm: allreduce ranks.
+		sum, _ := merged.Allreduce(EncodeInt64(int64(merged.Rank())), SumInt64, ctx.StartVT)
+		if DecodeInt64(sum) != 0+1+2+3 {
+			t.Errorf("allreduce over merged comm = %d", DecodeInt64(sum))
+		}
+	}
+	spmd(t, parents, func(h *Handle) {
+		specs := []SpawnSpec{{Node: nA, Count: 1, Main: childMain}, {Node: nB, Count: 1, Main: childMain}}
+		inter, vt := h.SpawnMultiple(specs, 0, 0)
+		merged, _ := inter.IntercommMerge(false, vt) // parents low
+		results <- res{rank: merged.Rank(), size: merged.Size()}
+		sum, _ := merged.Allreduce(EncodeInt64(int64(merged.Rank())), SumInt64, vt)
+		if DecodeInt64(sum) != 6 {
+			t.Errorf("allreduce over merged comm = %d", DecodeInt64(sum))
+		}
+	})
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		r := <-results
+		if r.size != 4 {
+			t.Fatalf("merged size = %d", r.size)
+		}
+		if seen[r.rank] {
+			t.Fatalf("duplicate merged rank %d", r.rank)
+		}
+		seen[r.rank] = true
+	}
+	// Parents (low) must hold ranks 0-1, children (high) 2-3.
+	for r := 0; r < 4; r++ {
+		if !seen[r] {
+			t.Fatalf("missing merged rank %d", r)
+		}
+	}
+}
+
+func TestIntercommMergePanicsOnIntracomm(t *testing.T) {
+	c := newTestComm(t, 2, fabric.NewZeroModel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge on intracomm did not panic")
+		}
+	}()
+	c.Handle(0).IntercommMerge(false, 0)
+}
+
+func TestTypedReduceOps(t *testing.T) {
+	if got := DecodeInt64(SumInt64(EncodeInt64(40), EncodeInt64(2))); got != 42 {
+		t.Fatalf("SumInt64 = %d", got)
+	}
+	if got := DecodeInt64(MaxInt64(EncodeInt64(40), EncodeInt64(2))); got != 40 {
+		t.Fatalf("MaxInt64 = %d", got)
+	}
+	v := DecodeFloat64s(SumFloat64s(EncodeFloat64s([]float64{1, 2}), EncodeFloat64s([]float64{10, 20, 30})))
+	if len(v) != 3 || v[0] != 11 || v[1] != 22 || v[2] != 30 {
+		t.Fatalf("SumFloat64s = %v", v)
+	}
+	if DecodeInt64([]byte{1}) != 0 {
+		t.Fatal("short DecodeInt64 not zero")
+	}
+}
+
+func TestScan(t *testing.T) {
+	const n = 5
+	c := newTestComm(t, n, fabric.NewIBHDRModel())
+	spmd(t, c, func(h *Handle) {
+		out, vt := h.Scan(EncodeInt64(int64(h.Rank()+1)), SumInt64, 0)
+		want := int64((h.Rank() + 1) * (h.Rank() + 2) / 2)
+		if DecodeInt64(out) != want {
+			t.Errorf("rank %d scan = %d, want %d", h.Rank(), DecodeInt64(out), want)
+		}
+		if h.Rank() > 0 && vt <= 0 {
+			t.Errorf("rank %d scan was free", h.Rank())
+		}
+	})
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	const n = 4
+	c := newTestComm(t, n, fabric.NewIBHDRModel())
+	spmd(t, c, func(h *Handle) {
+		parts := make([][]byte, n)
+		for i := range parts {
+			parts[i] = EncodeInt64(int64(h.Rank()*10 + i))
+		}
+		out, _ := h.ReduceScatterBlock(parts, SumInt64, 0)
+		// Every rank contributes rank*10 + me; sum over ranks.
+		want := int64(0)
+		for r := 0; r < n; r++ {
+			want += int64(r*10 + h.Rank())
+		}
+		if DecodeInt64(out) != want {
+			t.Errorf("rank %d = %d, want %d", h.Rank(), DecodeInt64(out), want)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package mpi
+
+import (
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+// Send performs a blocking standard-mode send of data to dest with the
+// given tag, starting at the caller's virtual time `at`. Small messages use
+// the eager protocol and return as soon as the sender's CPU is free; large
+// messages use rendezvous and return once the receiver has matched and the
+// transfer is underway (buffer reusable), which is when MPI_Send returns.
+//
+// The payload is passed by reference through the simulated wire: callers
+// must not mutate it after Send.
+func (h *Handle) Send(dest, tag int, data []byte, at vtime.Stamp) vtime.Stamp {
+	req := h.Isend(dest, tag, data, at)
+	return req.Wait(at)
+}
+
+// Isend starts a non-blocking send and returns immediately.
+func (h *Handle) Isend(dest, tag int, data []byte, at vtime.Stamp) *SendRequest {
+	w := h.comm.world
+	src := h.Proc()
+	dst := h.comm.peer(dest)
+	m := &message{comm: h.comm.id, src: h.rank, tag: tag, data: data}
+	if len(data) <= w.EagerThreshold {
+		cpuFree, deliver := w.fabric.Transfer(src.node, dst.node, fabric.MPIEager, len(data), at)
+		m.vt = deliver
+		dst.engine.deliver(m)
+		return &SendRequest{cpuFree: cpuFree, completed: true}
+	}
+	done := make(chan vtime.Stamp, 1)
+	cpuFree, rtsArrive := w.fabric.Transfer(src.node, dst.node, fabric.MPIEager, rtsBytes, at)
+	m.vt = rtsArrive
+	m.rndv = &rndvState{
+		fab:         w.fabric,
+		from:        src.node,
+		to:          dst.node,
+		size:        len(data),
+		senderReady: cpuFree,
+		done:        done,
+	}
+	dst.engine.deliver(m)
+	return &SendRequest{done: done}
+}
+
+// SendRequest tracks a non-blocking send.
+type SendRequest struct {
+	done      chan vtime.Stamp
+	cpuFree   vtime.Stamp
+	completed bool
+}
+
+// Wait blocks until the send completes and returns the virtual time at
+// which the sender may proceed (no earlier than `at`).
+func (r *SendRequest) Wait(at vtime.Stamp) vtime.Stamp {
+	if !r.completed {
+		r.cpuFree = <-r.done
+		r.completed = true
+	}
+	return vtime.Max(at, r.cpuFree)
+}
+
+// Test reports whether the send has completed, without blocking.
+func (r *SendRequest) Test() bool {
+	if r.completed {
+		return true
+	}
+	select {
+	case v := <-r.done:
+		r.cpuFree = v
+		r.completed = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Recv performs a blocking receive matching (source, tag); wildcards
+// AnySource and AnyTag are honored. It returns the payload and a status
+// whose VT is the virtual completion time (never earlier than `at`).
+func (h *Handle) Recv(source, tag int, at vtime.Stamp) ([]byte, Status) {
+	req := h.Irecv(source, tag, at)
+	return req.Wait(at)
+}
+
+// Irecv posts a non-blocking receive.
+func (h *Handle) Irecv(source, tag int, at vtime.Stamp) *RecvRequest {
+	p := h.Proc()
+	m, pr := p.engine.postOrMatch(h.comm.id, source, tag, at)
+	if m != nil {
+		m.complete(at)
+		return &RecvRequest{msg: m}
+	}
+	return &RecvRequest{pr: pr}
+}
+
+// RecvRequest tracks a non-blocking receive.
+type RecvRequest struct {
+	pr  *postedRecv
+	msg *message
+}
+
+// Wait blocks until the receive completes. It returns the payload and the
+// status; Status.VT is the completion time, never earlier than `at`.
+func (r *RecvRequest) Wait(at vtime.Stamp) ([]byte, Status) {
+	if r.msg == nil {
+		r.msg = <-r.pr.done
+	}
+	m := r.msg
+	return m.data, Status{Source: m.src, Tag: m.tag, Count: len(m.data), VT: vtime.Max(at, m.vt)}
+}
+
+// Test reports whether the receive has completed, without blocking.
+func (r *RecvRequest) Test() bool {
+	if r.msg != nil {
+		return true
+	}
+	select {
+	case m := <-r.pr.done:
+		r.msg = m
+		return true
+	default:
+		return false
+	}
+}
+
+// Probe blocks until a message matching (source, tag) is available, without
+// receiving it — MPI_Probe.
+func (h *Handle) Probe(source, tag int, at vtime.Stamp) Status {
+	return h.Proc().engine.probe(h.comm.id, source, tag, at)
+}
+
+// Iprobe checks for a matching message without blocking — MPI_Iprobe. The
+// MPI4Spark-Basic selector loop is built on this call.
+func (h *Handle) Iprobe(source, tag int, at vtime.Stamp) (bool, Status) {
+	return h.Proc().engine.iprobe(h.comm.id, source, tag, at)
+}
+
+// UnexpectedMessages reports the number of unmatched messages queued at
+// this process (diagnostics).
+func (h *Handle) UnexpectedMessages() int {
+	return h.Proc().engine.pendingCount()
+}

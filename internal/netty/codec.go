@@ -1,0 +1,76 @@
+package netty
+
+import (
+	"fmt"
+	"time"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/vtime"
+)
+
+// FrameEncoder is an outbound handler that prepends a big-endian uint32
+// length field to each frame body, Netty's LengthFieldPrepender.
+type FrameEncoder struct {
+	// EncodeNsPerByte models the CPU cost of framing/copying per byte.
+	EncodeNsPerByte float64
+}
+
+// Write implements OutboundHandler.
+func (e *FrameEncoder) Write(ctx *Context, msg any) {
+	body, ok := msg.(*bytebuf.Buf)
+	if !ok {
+		panic(fmt.Sprintf("netty: FrameEncoder expects *bytebuf.Buf, got %T", msg))
+	}
+	n := body.ReadableBytes()
+	framed := bytebuf.New(4 + n)
+	framed.WriteUint32(uint32(n))
+	framed.WriteBytes(body.Readable())
+	if e.EncodeNsPerByte > 0 {
+		ctx.Advance(vtimeNs(e.EncodeNsPerByte * float64(n)))
+	}
+	ctx.Write(framed)
+}
+
+// FrameDecoder is an inbound handler that validates and strips the uint32
+// length field, Netty's LengthFieldBasedFrameDecoder. Because the fabric
+// preserves message boundaries, each inbound buffer holds exactly one
+// frame; a length mismatch indicates corruption and the frame is dropped
+// (reported through OnError if set).
+type FrameDecoder struct {
+	DecodeNsPerByte float64
+	OnError         func(error)
+}
+
+// ChannelRead implements InboundHandler.
+func (d *FrameDecoder) ChannelRead(ctx *Context, msg any) {
+	buf, ok := msg.(*bytebuf.Buf)
+	if !ok {
+		panic(fmt.Sprintf("netty: FrameDecoder expects *bytebuf.Buf, got %T", msg))
+	}
+	n, err := buf.ReadUint32()
+	if err != nil {
+		d.fail(fmt.Errorf("netty: truncated frame header: %w", err))
+		return
+	}
+	if int(n) != buf.ReadableBytes() {
+		d.fail(fmt.Errorf("netty: frame length %d does not match %d readable bytes", n, buf.ReadableBytes()))
+		return
+	}
+	if d.DecodeNsPerByte > 0 {
+		ctx.Advance(vtimeNs(d.DecodeNsPerByte * float64(n)))
+	}
+	ctx.FireChannelRead(buf)
+}
+
+func (d *FrameDecoder) fail(err error) {
+	if d.OnError != nil {
+		d.OnError(err)
+	}
+}
+
+func vtimeNs(ns float64) vtime.Stamp {
+	if ns <= 0 {
+		return 0
+	}
+	return vtime.Stamp(time.Duration(ns))
+}

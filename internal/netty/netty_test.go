@@ -1,0 +1,402 @@
+package netty
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+// recorder collects inbound messages for assertions.
+type recorder struct {
+	mu   sync.Mutex
+	msgs []any
+	vts  []vtime.Stamp
+	ch   chan struct{}
+}
+
+func newRecorder() *recorder { return &recorder{ch: make(chan struct{}, 1024)} }
+
+func (r *recorder) ChannelRead(ctx *Context, msg any) {
+	r.mu.Lock()
+	r.msgs = append(r.msgs, msg)
+	r.vts = append(r.vts, ctx.VT())
+	r.mu.Unlock()
+	r.ch <- struct{}{}
+}
+
+func (r *recorder) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-r.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for message %d/%d", i+1, n)
+		}
+	}
+}
+
+func (r *recorder) snapshot() ([]any, []vtime.Stamp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]any(nil), r.msgs...), append([]vtime.Stamp(nil), r.vts...)
+}
+
+// tagger is an inbound handler that tags string messages and forwards.
+type tagger struct{ tag string }
+
+func (h *tagger) ChannelRead(ctx *Context, msg any) {
+	ctx.FireChannelRead(msg.(string) + h.tag)
+}
+
+// outTagger is an outbound handler that tags string messages and forwards.
+type outTagger struct{ tag string }
+
+func (h *outTagger) Write(ctx *Context, msg any) {
+	ctx.Write(msg.(string) + h.tag)
+}
+
+// sinkTransport records what reaches the pipeline head.
+type sinkTransport struct {
+	mu   sync.Mutex
+	msgs []any
+	cost vtime.Stamp
+}
+
+func (s *sinkTransport) WriteMsg(msg any, vt vtime.Stamp) vtime.Stamp {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, msg)
+	s.mu.Unlock()
+	return vt + s.cost
+}
+func (s *sinkTransport) Close() error { return nil }
+
+func TestPipelineInboundOrder(t *testing.T) {
+	ch := NewChannel()
+	rec := newRecorder()
+	ch.Pipeline().AddLast("a", &tagger{tag: "-A"})
+	ch.Pipeline().AddLast("b", &tagger{tag: "-B"})
+	ch.Pipeline().AddLast("rec", rec)
+	ch.Pipeline().FireChannelRead("m", 7)
+	msgs, vts := rec.snapshot()
+	if len(msgs) != 1 || msgs[0] != "m-A-B" {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	if vts[0] != 7 {
+		t.Fatalf("vt = %v", vts[0])
+	}
+}
+
+func TestPipelineOutboundOrderReachesTransport(t *testing.T) {
+	ch := NewChannel()
+	sink := &sinkTransport{cost: 11}
+	ch.SetTransport(sink)
+	ch.Pipeline().AddLast("x", &outTagger{tag: "-X"})
+	ch.Pipeline().AddLast("y", &outTagger{tag: "-Y"})
+	free := ch.Write("w", 3)
+	if len(sink.msgs) != 1 || sink.msgs[0] != "w-Y-X" {
+		t.Fatalf("transport got %v", sink.msgs)
+	}
+	if free != 14 {
+		t.Fatalf("cpu-free = %v, want 14", free)
+	}
+}
+
+func TestPipelineAddFirstRemove(t *testing.T) {
+	ch := NewChannel()
+	p := ch.Pipeline()
+	p.AddLast("b", &tagger{tag: "-B"})
+	p.AddFirst("a", &tagger{tag: "-A"})
+	want := []string{"a", "b"}
+	got := p.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v", got)
+		}
+	}
+	if !p.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if p.Remove("a") {
+		t.Fatal("double Remove(a) = true")
+	}
+}
+
+func TestPipelineDuplicateNamePanics(t *testing.T) {
+	ch := NewChannel()
+	ch.Pipeline().AddLast("h", &tagger{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddLast did not panic")
+		}
+	}()
+	ch.Pipeline().AddLast("h", &tagger{})
+}
+
+func TestChannelAttributes(t *testing.T) {
+	ch := NewChannel()
+	if _, ok := ch.Attr("rank"); ok {
+		t.Fatal("attr present on new channel")
+	}
+	ch.SetAttr("rank", 3)
+	v, ok := ch.Attr("rank")
+	if !ok || v.(int) != 3 {
+		t.Fatalf("Attr = %v, %v", v, ok)
+	}
+}
+
+func TestChannelIDsUnique(t *testing.T) {
+	seen := map[ChannelID]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewChannel().ID()
+		if seen[id] {
+			t.Fatalf("duplicate channel id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func newTestCluster(t *testing.T) (*fabric.Fabric, *EventLoopGroup) {
+	t.Helper()
+	f := fabric.New(fabric.NewIBHDRModel())
+	f.AddNode("n0")
+	f.AddNode("n1")
+	g := NewEventLoopGroup(2, LoopConfig{})
+	t.Cleanup(g.Shutdown)
+	return f, g
+}
+
+func TestBootstrapEcho(t *testing.T) {
+	f, g := newTestCluster(t)
+	serverRec := newRecorder()
+
+	// Server: echo every frame back.
+	sb := &ServerBootstrap{
+		Group: g,
+		Initializer: func(ch *Channel) {
+			ch.Pipeline().AddLast("dec", &FrameDecoder{})
+			ch.Pipeline().AddLast("enc", &FrameEncoder{})
+			ch.Pipeline().AddLast("echo", inboundFunc(func(ctx *Context, msg any) {
+				buf := msg.(*bytebuf.Buf)
+				serverRec.msgs = append(serverRec.msgs, string(buf.Bytes()))
+				ctx.Channel().Write(buf, ctx.VT())
+			}))
+		},
+	}
+	srv, err := sb.Listen(f.Node("n1"), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clientRec := newRecorder()
+	b := &Bootstrap{
+		Group:    g,
+		Protocol: fabric.TCP,
+		Initializer: func(ch *Channel) {
+			ch.Pipeline().AddLast("dec", &FrameDecoder{})
+			ch.Pipeline().AddLast("enc", &FrameEncoder{})
+			ch.Pipeline().AddLast("rec", clientRec)
+		},
+	}
+	ch, ready, err := b.Connect(f.Node("n0"), srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready <= 0 {
+		t.Fatalf("handshake cost missing: ready=%v", ready)
+	}
+
+	payload := bytebuf.Wrap([]byte("ping"))
+	ch.Write(payload, ready)
+	clientRec.wait(t, 1)
+	msgs, vts := clientRec.snapshot()
+	if got := string(msgs[0].(*bytebuf.Buf).Bytes()); got != "ping" {
+		t.Fatalf("echo payload = %q", got)
+	}
+	if vts[0] <= ready {
+		t.Fatalf("echoed vt %v not after send time %v", vts[0], ready)
+	}
+}
+
+// inboundFunc adapts a function to InboundHandler.
+type inboundFunc func(ctx *Context, msg any)
+
+func (f inboundFunc) ChannelRead(ctx *Context, msg any) { f(ctx, msg) }
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	ch := NewChannel()
+	sink := &sinkTransport{}
+	ch.SetTransport(sink)
+	rec := newRecorder()
+	ch.Pipeline().AddLast("dec", &FrameDecoder{})
+	ch.Pipeline().AddLast("enc", &FrameEncoder{})
+	ch.Pipeline().AddLast("rec", rec)
+
+	ch.Write(bytebuf.Wrap([]byte("abcdef")), 0)
+	framed := sink.msgs[0].(*bytebuf.Buf)
+	if framed.ReadableBytes() != 10 {
+		t.Fatalf("framed length = %d", framed.ReadableBytes())
+	}
+	// Feed the framed bytes back inbound.
+	ch.Pipeline().FireChannelRead(bytebuf.Wrap(framed.Bytes()), 0)
+	msgs, _ := rec.snapshot()
+	if len(msgs) != 1 || string(msgs[0].(*bytebuf.Buf).Bytes()) != "abcdef" {
+		t.Fatalf("decoded = %v", msgs)
+	}
+}
+
+func TestFrameDecoderCorruptFrame(t *testing.T) {
+	ch := NewChannel()
+	var decodeErr error
+	rec := newRecorder()
+	ch.Pipeline().AddLast("dec", &FrameDecoder{OnError: func(err error) { decodeErr = err }})
+	ch.Pipeline().AddLast("rec", rec)
+
+	bad := bytebuf.New(0)
+	bad.WriteUint32(99) // claims 99 bytes, provides 2
+	bad.WriteBytes([]byte{1, 2})
+	ch.Pipeline().FireChannelRead(bad, 0)
+	if decodeErr == nil {
+		t.Fatal("corrupt frame not reported")
+	}
+	if msgs, _ := rec.snapshot(); len(msgs) != 0 {
+		t.Fatalf("corrupt frame forwarded: %v", msgs)
+	}
+}
+
+func TestEventLoopExecute(t *testing.T) {
+	l := NewEventLoop(LoopConfig{})
+	defer l.Shutdown()
+	done := make(chan struct{})
+	l.Execute(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("task did not run")
+	}
+}
+
+func TestEventLoopAuxPoll(t *testing.T) {
+	l := NewEventLoop(LoopConfig{SpinYield: time.Millisecond})
+	defer l.Shutdown()
+	var mu sync.Mutex
+	polls := 0
+	l.SetAuxPoll(func() bool {
+		mu.Lock()
+		polls++
+		mu.Unlock()
+		return false
+	})
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	got := polls
+	mu.Unlock()
+	if got < 2 {
+		t.Fatalf("aux poll ran %d times, want >= 2", got)
+	}
+}
+
+func TestChannelCloseFiresInactiveOnce(t *testing.T) {
+	ch := NewChannel()
+	ch.SetTransport(&sinkTransport{})
+	var count int
+	ch.Pipeline().AddLast("watch", inactiveCounter{&count})
+	ch.markActive(0)
+	ch.Close()
+	ch.Close()
+	if count != 1 {
+		t.Fatalf("channelInactive fired %d times", count)
+	}
+}
+
+type inactiveCounter struct{ n *int }
+
+func (h inactiveCounter) ChannelInactive(ctx *Context) { *h.n++ }
+
+func TestServerTracksChannels(t *testing.T) {
+	f, g := newTestCluster(t)
+	sb := &ServerBootstrap{Group: g}
+	srv, err := sb.Listen(f.Node("n1"), "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	b := &Bootstrap{Group: g, Protocol: fabric.TCP}
+	for i := 0; i < 3; i++ {
+		if _, _, err := b.Connect(f.Node("n0"), srv.Addr(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.Channels()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("accepted %d channels, want 3", len(srv.Channels()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReadEventCostCharged(t *testing.T) {
+	f := fabric.New(fabric.NewZeroModel())
+	f.AddNode("n0")
+	f.AddNode("n1")
+	g := NewEventLoopGroup(1, LoopConfig{ReadEventCost: 3 * time.Microsecond})
+	defer g.Shutdown()
+	rec := newRecorder()
+	sb := &ServerBootstrap{Group: g, Initializer: func(ch *Channel) {
+		ch.Pipeline().AddLast("rec", rec)
+	}}
+	srv, err := sb.Listen(f.Node("n1"), "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	b := &Bootstrap{Group: g, Protocol: fabric.TCP}
+	ch, _, err := b.Connect(f.Node("n0"), srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Write(bytebuf.Wrap([]byte("x")), 0)
+	rec.wait(t, 1)
+	_, vts := rec.snapshot()
+	if want := vtime.Duration(3 * time.Microsecond); vts[0] != want {
+		t.Fatalf("read vt = %v, want %v (zero fabric + read cost)", vts[0], want)
+	}
+}
+
+func TestPipelineAddBefore(t *testing.T) {
+	ch := NewChannel()
+	p := ch.Pipeline()
+	p.AddLast("a", &tagger{tag: "-A"})
+	p.AddLast("c", &tagger{tag: "-C"})
+	p.AddBefore("c", "b", &tagger{tag: "-B"})
+	rec := newRecorder()
+	p.AddLast("rec", rec)
+	p.FireChannelRead("m", 0)
+	msgs, _ := rec.snapshot()
+	if msgs[0] != "m-A-B-C" {
+		t.Fatalf("order = %v", msgs[0])
+	}
+	names := p.Names()
+	want := []string{"a", "b", "c", "rec"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
+func TestPipelineAddBeforeMissingAnchorPanics(t *testing.T) {
+	ch := NewChannel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddBefore with missing anchor did not panic")
+		}
+	}()
+	ch.Pipeline().AddBefore("nope", "x", &tagger{})
+}

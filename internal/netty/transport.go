@@ -1,0 +1,50 @@
+package netty
+
+import (
+	"fmt"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+// wrapInbound converts raw transport bytes into the pipeline's inbound
+// representation: a ByteBuf whose readable bytes are the frame.
+func wrapInbound(data []byte) *bytebuf.Buf { return bytebuf.Wrap(data) }
+
+// NIOTransport is the default transport: framed messages over the fabric's
+// TCP path, the analogue of Netty's NIO socket transport used by Vanilla
+// Spark.
+type NIOTransport struct {
+	conn *fabric.Conn
+}
+
+// NewNIOTransport wraps a fabric connection.
+func NewNIOTransport(conn *fabric.Conn) *NIOTransport {
+	return &NIOTransport{conn: conn}
+}
+
+// WriteMsg ships one frame. It accepts a *bytebuf.Buf or a raw []byte.
+func (t *NIOTransport) WriteMsg(msg any, vt vtime.Stamp) vtime.Stamp {
+	var data []byte
+	switch m := msg.(type) {
+	case *bytebuf.Buf:
+		data = m.Bytes()
+	case []byte:
+		data = m
+	default:
+		panic(fmt.Sprintf("netty: NIO transport cannot write %T", msg))
+	}
+	free, err := t.conn.Send(data, vt)
+	if err != nil {
+		return vt
+	}
+	return free
+}
+
+// Close closes the underlying connection.
+func (t *NIOTransport) Close() error { return t.conn.Close() }
+
+// Conn exposes the underlying fabric connection (used by transports layered
+// on top, e.g. the MPI transports that keep the socket for establishment).
+func (t *NIOTransport) Conn() *fabric.Conn { return t.conn }

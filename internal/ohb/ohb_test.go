@@ -1,0 +1,133 @@
+package ohb
+
+import (
+	"fmt"
+	"testing"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/spark"
+	"mpi4spark/internal/spark/deploy"
+)
+
+func testCluster(t *testing.T, workers, slots int) *deploy.Cluster {
+	t.Helper()
+	f := fabric.New(fabric.NewIBHDRModel())
+	wn := make([]*fabric.Node, workers)
+	for i := range wn {
+		wn[i] = f.AddNode(fmt.Sprintf("w%d", i))
+	}
+	cl, err := deploy.StartCluster(deploy.Config{
+		Fabric:         f,
+		WorkerNodes:    wn,
+		MasterNode:     f.AddNode("master"),
+		DriverNode:     f.AddNode("driver"),
+		SlotsPerWorker: slots,
+		Backend:        spark.BackendVanilla,
+		CPU:            spark.DefaultCPUModel(),
+		Spark:          spark.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := Config{Mappers: 2, Reducers: 2, PairsPerMapper: 100}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.ValueBytes != 100 || c.KeyRange != 100 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	bad := Config{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero config validated")
+	}
+	if got := c.TotalBytes(); got != int64(2*100*(100+8)) {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+func TestGroupByTestStageStructure(t *testing.T) {
+	cl := testCluster(t, 2, 2)
+	res, err := RunGroupByTest(cl.Ctx, Config{
+		Mappers: 4, Reducers: 4, PairsPerMapper: 500, ValueBytes: 64, KeyRange: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output < 40 || res.Output > 50 {
+		t.Fatalf("distinct groups = %d, want close to 50", res.Output)
+	}
+	names := make([]string, len(res.Stages))
+	for i, s := range res.Stages {
+		names[i] = s.Name
+	}
+	want := []string{"Job0-ResultStage", "Job1-ShuffleMapStage", "Job1-ResultStage"}
+	if len(names) != 3 {
+		t.Fatalf("stages = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stage %d = %q, want %q (paper's Fig. 10 breakdown)", i, names[i], want[i])
+		}
+	}
+	if res.ShuffleReadTime() <= 0 {
+		t.Fatal("no shuffle read time recorded")
+	}
+	if res.Total <= 0 {
+		t.Fatal("no total time")
+	}
+}
+
+func TestSortByTestStageStructure(t *testing.T) {
+	cl := testCluster(t, 2, 2)
+	res, err := RunSortByTest(cl.Ctx, Config{
+		Mappers: 4, Reducers: 4, PairsPerMapper: 300, ValueBytes: 32, KeyRange: 1000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != 1200 {
+		t.Fatalf("sorted records = %d, want 1200", res.Output)
+	}
+	// Paper's SortBy labels: Job0 gen, Job1 sampling, Job2 sort.
+	var sawJob2Map, sawJob2Result bool
+	for _, s := range res.Stages {
+		switch s.Name {
+		case "Job2-ShuffleMapStage":
+			sawJob2Map = true
+		case "Job2-ResultStage":
+			sawJob2Result = true
+		}
+	}
+	if !sawJob2Map || !sawJob2Result {
+		t.Fatalf("missing Job2 stages (paper labels); got %+v", res.Stages)
+	}
+	if res.StageDuration("Job0") <= 0 {
+		t.Fatal("no data-generation stage time")
+	}
+}
+
+func TestGroupByDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Mappers: 4, Reducers: 4, PairsPerMapper: 200, ValueBytes: 16, KeyRange: 40, Seed: 7}
+	c1 := testCluster(t, 2, 2)
+	r1, err := RunGroupByTest(c1.Ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := testCluster(t, 2, 2)
+	r2, err := RunGroupByTest(c2.Ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Output != r2.Output {
+		t.Fatalf("outputs differ: %d vs %d", r1.Output, r2.Output)
+	}
+	// Virtual shuffle volume must match exactly (determinism).
+	if r1.Stages[2].ShuffleBytes != r2.Stages[2].ShuffleBytes {
+		t.Fatalf("shuffle bytes differ: %d vs %d", r1.Stages[2].ShuffleBytes, r2.Stages[2].ShuffleBytes)
+	}
+}

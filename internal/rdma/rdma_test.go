@@ -1,0 +1,155 @@
+package rdma
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/vtime"
+)
+
+func twoDevices(t *testing.T) (*Device, *Device, *fabric.Fabric) {
+	t.Helper()
+	f := fabric.New(fabric.NewIBHDRModel())
+	a := OpenDevice(f.AddNode("a"))
+	b := OpenDevice(f.AddNode("b"))
+	return a, b, f
+}
+
+func TestConnectQPReadyTime(t *testing.T) {
+	a, b, f := twoDevices(t)
+	_, _, ready := ConnectQP(a, b, 1000)
+	c := f.Model().Costs[fabric.RDMA]
+	want := vtime.Stamp(1000).Add(2 * (c.Latency + c.SendOverhead + c.RecvOverhead))
+	if ready != want {
+		t.Fatalf("ready = %v, want %v", ready, want)
+	}
+}
+
+func TestPostSendRecvCompletion(t *testing.T) {
+	a, b, _ := twoDevices(t)
+	qpA, qpB, ready := ConnectQP(a, b, 0)
+	payload := []byte("verbs payload")
+	cpuFree, err := qpA.PostSend(payload, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuFree <= ready {
+		t.Fatalf("cpuFree = %v", cpuFree)
+	}
+	sc := qpA.CQ().Poll(10)
+	if len(sc) != 1 || sc[0].Op != "send" {
+		t.Fatalf("send completions = %+v", sc)
+	}
+	rc, err := qpB.CQ().Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Op != "recv" || !bytes.Equal(rc.Data, payload) {
+		t.Fatalf("recv completion = %+v", rc)
+	}
+	if rc.VT <= cpuFree {
+		t.Fatalf("delivery %v not after sender cpu-free %v", rc.VT, cpuFree)
+	}
+}
+
+func TestRDMARead(t *testing.T) {
+	a, b, f := twoDevices(t)
+	qpA, _, ready := ConnectQP(a, b, 0)
+	remote := make([]byte, 1<<20)
+	for i := range remote {
+		remote[i] = byte(i)
+	}
+	mr, regDone := b.RegisterMemory(remote, 0)
+	if regDone <= 0 {
+		t.Fatal("registration was free")
+	}
+	data, vt, err := qpA.Read(mr, 4096, 8192, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, remote[4096:4096+8192]) {
+		t.Fatal("read returned wrong bytes")
+	}
+	floor := ready.Add(f.Model().Costs[fabric.RDMA].Latency)
+	if vt <= floor {
+		t.Fatalf("read vt %v below one-way floor %v", vt, floor)
+	}
+}
+
+func TestReadBounds(t *testing.T) {
+	a, b, _ := twoDevices(t)
+	qpA, _, _ := ConnectQP(a, b, 0)
+	mr, _ := b.RegisterMemory(make([]byte, 100), 0)
+	cases := []struct{ off, n int }{{-1, 10}, {0, 101}, {95, 10}, {0, -1}}
+	for _, c := range cases {
+		if _, _, err := qpA.Read(mr, c.off, c.n, 0); err == nil {
+			t.Errorf("Read(%d,%d) out of bounds succeeded", c.off, c.n)
+		}
+	}
+}
+
+func TestReadWrongDevice(t *testing.T) {
+	a, b, _ := twoDevices(t)
+	qpA, _, _ := ConnectQP(a, b, 0)
+	mrLocal, _ := a.RegisterMemory(make([]byte, 10), 0)
+	if _, _, err := qpA.Read(mrLocal, 0, 5, 0); err == nil {
+		t.Fatal("read from non-peer region succeeded")
+	}
+}
+
+func TestCloseBothEnds(t *testing.T) {
+	a, b, _ := twoDevices(t)
+	qpA, qpB, _ := ConnectQP(a, b, 0)
+	qpA.Close()
+	if _, err := qpB.PostSend([]byte("x"), 0); err != ErrClosed {
+		t.Fatalf("peer PostSend after close: %v", err)
+	}
+	if _, err := qpB.CQ().Wait(); err != ErrClosed {
+		t.Fatalf("peer CQ Wait after close: %v", err)
+	}
+	qpA.Close() // idempotent
+}
+
+func TestCQPollLimit(t *testing.T) {
+	a, b, _ := twoDevices(t)
+	qpA, _, _ := ConnectQP(a, b, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := qpA.PostSend([]byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(qpA.CQ().Poll(3)); got != 3 {
+		t.Fatalf("Poll(3) = %d", got)
+	}
+	if got := len(qpA.CQ().Poll(10)); got != 2 {
+		t.Fatalf("second Poll = %d", got)
+	}
+}
+
+func TestRegistrationCostScales(t *testing.T) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	d := OpenDevice(f.AddNode("x"))
+	_, small := d.RegisterMemory(make([]byte, 4<<10), 0)
+	_, large := d.RegisterMemory(make([]byte, 4<<20), 0)
+	if large <= small {
+		t.Fatalf("registration cost not size-dependent: %v vs %v", small, large)
+	}
+}
+
+func TestManyQPsIndependent(t *testing.T) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	hub := OpenDevice(f.AddNode("hub"))
+	for i := 0; i < 4; i++ {
+		leaf := OpenDevice(f.AddNode(fmt.Sprintf("leaf%d", i)))
+		qpL, qpH, _ := ConnectQP(leaf, hub, 0)
+		if _, err := qpL.PostSend([]byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		c, err := qpH.CQ().Wait()
+		if err != nil || c.Data[0] != byte(i) {
+			t.Fatalf("qp %d: %v %v", i, c, err)
+		}
+	}
+}

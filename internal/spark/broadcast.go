@@ -1,0 +1,122 @@
+package spark
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mpi4spark/internal/vtime"
+)
+
+// Broadcast is a read-only variable shipped to executors once and cached
+// there, like Spark's TorrentBroadcast. The value itself stays in process
+// memory; its serialized form travels over the stream path
+// (StreamRequest/StreamResponse), which means that under the
+// MPI4Spark-Optimized design broadcast bodies cross the fabric via MPI
+// exactly as the paper describes for StreamResponse.
+type Broadcast[T any] struct {
+	id    int64
+	ctx   *Context
+	value T
+	size  int
+}
+
+var broadcastSeq atomic.Int64
+
+// broadcastState is the per-context registry of serialized broadcast blobs
+// (driver side) and per-executor fetch caches.
+type broadcastState struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	// fetched[execID][streamID] records the executor-local cache arrival
+	// time; later reads on that executor are free.
+	fetched map[string]map[string]vtime.Stamp
+}
+
+func (c *Context) broadcasts() *broadcastState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bcast == nil {
+		c.bcast = &broadcastState{
+			blobs:   make(map[string][]byte),
+			fetched: make(map[string]map[string]vtime.Stamp),
+		}
+		c.driver.RegisterStreamResolver(func(streamID string) ([]byte, bool) {
+			c.bcast.mu.Lock()
+			defer c.bcast.mu.Unlock()
+			b, ok := c.bcast.blobs[streamID]
+			return b, ok
+		})
+	}
+	return c.bcast
+}
+
+// NewBroadcast registers value with the driver for distribution.
+// serializedSize models the wire size of the value (pass 0 to default to
+// 1 KiB); the blob content itself is synthetic since executors share the
+// driver's address space.
+func NewBroadcast[T any](ctx *Context, value T, serializedSize int) *Broadcast[T] {
+	if serializedSize <= 0 {
+		serializedSize = 1 << 10
+	}
+	b := &Broadcast[T]{id: broadcastSeq.Add(1), ctx: ctx, value: value, size: serializedSize}
+	st := ctx.broadcasts()
+	st.mu.Lock()
+	st.blobs[b.streamID()] = make([]byte, serializedSize)
+	st.mu.Unlock()
+	return b
+}
+
+func (b *Broadcast[T]) streamID() string { return fmt.Sprintf("broadcast_%d", b.id) }
+
+// ID returns the broadcast's identifier.
+func (b *Broadcast[T]) ID() int64 { return b.id }
+
+// Value fetches (on first use per executor) and returns the broadcast
+// value inside a task. The first task to touch the broadcast on an
+// executor pays the stream transfer from the driver; later tasks hit the
+// executor-local cache.
+func (b *Broadcast[T]) Value(tc *TaskContext) T {
+	e := tc.exec
+	if e == nil {
+		return b.value // driver-local use
+	}
+	st := b.ctx.broadcasts()
+	sid := b.streamID()
+
+	st.mu.Lock()
+	cache := st.fetched[e.id]
+	if cache == nil {
+		cache = make(map[string]vtime.Stamp)
+		st.fetched[e.id] = cache
+	}
+	arrival, ok := cache[sid]
+	st.mu.Unlock()
+
+	if ok {
+		tc.Observe(arrival)
+		return b.value
+	}
+	// Fetch over the stream path; concurrent first-touchers may fetch
+	// twice, like TorrentBroadcast's racy-but-idempotent pulls.
+	_, vt, err := e.env.FetchStream(b.ctx.driver.Addr(), sid, tc.vt)
+	if err == nil {
+		tc.Observe(vt)
+		st.mu.Lock()
+		if prev, dup := cache[sid]; !dup || vt < prev {
+			cache[sid] = vt
+		}
+		st.mu.Unlock()
+	}
+	return b.value
+}
+
+// Destroy drops the broadcast's blob from the driver; executors' cached
+// copies remain usable (Spark's destroy semantics are stricter, but
+// workloads here never read after destroy).
+func (b *Broadcast[T]) Destroy() {
+	st := b.ctx.broadcasts()
+	st.mu.Lock()
+	delete(st.blobs, b.streamID())
+	st.mu.Unlock()
+}

@@ -1,0 +1,267 @@
+package spark
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/shuffle"
+	"mpi4spark/internal/vtime"
+)
+
+// Config configures a SparkContext.
+type Config struct {
+	// Name labels the application.
+	Name string
+	// CPU is the compute-cost model applied to all tasks.
+	CPU CPUModel
+	// DefaultParallelism is the partition count used when callers pass
+	// numParts < 1.
+	DefaultParallelism int
+	// TaskClosureBytes models the serialized task size shipped in every
+	// LaunchTask message (task binary + closure).
+	TaskClosureBytes int
+	// MaxTaskAttempts bounds per-task retries (Spark's
+	// spark.task.maxFailures; default 3). A failing task is retried on a
+	// different executor when possible.
+	MaxTaskAttempts int
+}
+
+// DefaultConfig returns a reasonable configuration.
+func DefaultConfig() Config {
+	return Config{
+		Name:               "app",
+		CPU:                DefaultCPUModel(),
+		DefaultParallelism: 4,
+		TaskClosureBytes:   1024,
+		MaxTaskAttempts:    3,
+	}
+}
+
+// taskMetrics aggregates a task's counters.
+type taskMetrics struct {
+	Records       int64
+	ShuffleBytes  int64
+	ShuffleWaitVT vtime.Stamp
+}
+
+// completion is a finished task's in-process result record.
+type completion struct {
+	taskID    int64
+	part      int
+	execID    string
+	result    any
+	mapStatus *shuffle.MapStatus
+	cached    []cacheKey
+	err       error
+	execVT    vtime.Stamp
+	driverVT  vtime.Stamp
+	metrics   taskMetrics
+}
+
+// taskDescriptor is one schedulable task.
+type taskDescriptor struct {
+	id         int64
+	stage      *stageInfo
+	part       int
+	run        func(tc *TaskContext) (any, *shuffle.MapStatus, error)
+	resultSize func(any) int
+	preferred  string // preferred executor id ("" = any)
+}
+
+// stageInfo describes a stage for scheduling and metrics.
+type stageInfo struct {
+	id    int
+	jobID int
+	name  string
+	kind  string
+}
+
+// StageTiming is the per-stage record behind the paper's breakdown plots.
+type StageTiming struct {
+	JobID int
+	// Name follows the paper's labels, e.g. "Job1-ShuffleMapStage".
+	Name string
+	// Kind is "ShuffleMapStage" or "ResultStage".
+	Kind  string
+	Start vtime.Stamp
+	End   vtime.Stamp
+	Tasks int
+	// Records processed and shuffle bytes fetched, summed over tasks.
+	Records      int64
+	ShuffleBytes int64
+	// ShuffleWaitMax is the largest per-task shuffle wait.
+	ShuffleWaitMax vtime.Stamp
+}
+
+// Duration returns the stage's virtual wall time.
+func (s StageTiming) Duration() vtime.Stamp { return s.End - s.Start }
+
+// Context is the SparkContext: the driver-side entry point that owns the
+// lineage counters, the DAG scheduler, the map-output tracker, and the
+// stage metrics.
+type Context struct {
+	cfg       Config
+	driver    *rpc.Env
+	executors []*Executor
+	tracker   *shuffle.MapOutputTracker
+
+	jobMu sync.Mutex // one job at a time
+
+	mu           sync.Mutex
+	rddSeq       int
+	shuffleSeq   int
+	stageSeq     int
+	jobSeq       int
+	taskSeq      int64
+	tasks        map[int64]*taskDescriptor
+	comps        map[int64]*completion
+	waiters      map[int64]chan *completion
+	clock        vtime.Stamp
+	stages       []StageTiming
+	cacheLocs    map[cacheKey]string
+	doneShuffles map[int]bool
+	rrNext       int
+	bcast        *broadcastState
+	unhealthy    map[string]bool // executors that failed a launch
+}
+
+// NewContext creates a SparkContext over a driver environment and a set of
+// executors, registering the scheduler and tracker endpoints and attaching
+// every executor.
+func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, error) {
+	if cfg.DefaultParallelism < 1 {
+		cfg.DefaultParallelism = 1
+	}
+	if cfg.TaskClosureBytes < 16 {
+		cfg.TaskClosureBytes = 16
+	}
+	if cfg.MaxTaskAttempts < 1 {
+		cfg.MaxTaskAttempts = 3
+	}
+	if len(executors) == 0 {
+		return nil, fmt.Errorf("spark: context needs at least one executor")
+	}
+	c := &Context{
+		cfg:          cfg,
+		driver:       driver,
+		executors:    executors,
+		tracker:      shuffle.NewMapOutputTracker(),
+		tasks:        make(map[int64]*taskDescriptor),
+		comps:        make(map[int64]*completion),
+		waiters:      make(map[int64]chan *completion),
+		cacheLocs:    make(map[cacheKey]string),
+		doneShuffles: make(map[int]bool),
+		unhealthy:    make(map[string]bool),
+	}
+	if err := shuffle.ServeTracker(driver, c.tracker); err != nil {
+		return nil, err
+	}
+	err := driver.RegisterEndpoint(SchedulerEndpoint, func(call *rpc.Call) {
+		if len(call.Payload) < 8 {
+			return
+		}
+		taskID := int64(binary.BigEndian.Uint64(call.Payload[:8]))
+		c.mu.Lock()
+		comp := c.comps[taskID]
+		w := c.waiters[taskID]
+		delete(c.comps, taskID)
+		delete(c.waiters, taskID)
+		c.mu.Unlock()
+		if comp == nil || w == nil {
+			return
+		}
+		comp.driverVT = call.VT
+		w <- comp
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range executors {
+		if err := e.Attach(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Driver returns the driver's RPC environment.
+func (c *Context) Driver() *rpc.Env { return c.driver }
+
+// Executors returns the context's executors.
+func (c *Context) Executors() []*Executor { return c.executors }
+
+// Tracker returns the driver-side map output tracker.
+func (c *Context) Tracker() *shuffle.MapOutputTracker { return c.tracker }
+
+// Clock returns the driver's job clock: the virtual time at which the last
+// action completed.
+func (c *Context) Clock() vtime.Stamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock
+}
+
+// AdvanceClock moves the job clock forward to at least vt. Cluster
+// launchers call it with the deployment's completion time so job traffic
+// never races cluster-launch traffic on the simulated NICs (virtual time
+// is global, and NIC occupancy is monotonic).
+func (c *Context) AdvanceClock(vt vtime.Stamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = vtime.Max(c.clock, vt)
+}
+
+// Stages returns the recorded stage timings, oldest first.
+func (c *Context) Stages() []StageTiming {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StageTiming(nil), c.stages...)
+}
+
+// ResetStages clears the recorded stage timings (between benchmark
+// phases); the virtual clock keeps running.
+func (c *Context) ResetStages() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = nil
+}
+
+// DefaultParallelism returns the configured default partition count.
+func (c *Context) DefaultParallelism() int { return c.cfg.DefaultParallelism }
+
+// TotalSlots returns the cluster's total task slot count.
+func (c *Context) TotalSlots() int {
+	n := 0
+	for _, e := range c.executors {
+		n += e.nSlots
+	}
+	return n
+}
+
+func (c *Context) nextRDDID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rddSeq++
+	return c.rddSeq
+}
+
+func (c *Context) nextShuffleID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shuffleSeq++
+	return c.shuffleSeq
+}
+
+func (c *Context) lookupTask(id int64) *taskDescriptor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tasks[id]
+}
+
+func (c *Context) storeCompletion(comp *completion) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.comps[comp.taskID] = comp
+}

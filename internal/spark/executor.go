@@ -1,0 +1,274 @@
+package spark
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/rdma"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/shuffle"
+	"mpi4spark/internal/spark/storage"
+	"mpi4spark/internal/ucr"
+	"mpi4spark/internal/vtime"
+)
+
+// ExecutorEndpoint is the executor-side endpoint receiving LaunchTask
+// messages.
+const ExecutorEndpoint = "Executor"
+
+// SchedulerEndpoint is the driver-side endpoint receiving StatusUpdate
+// messages.
+const SchedulerEndpoint = "TaskScheduler"
+
+// Backend selects the cluster's communication design.
+type Backend int
+
+const (
+	// BackendVanilla is stock Spark: Netty NIO over TCP/IPoIB.
+	BackendVanilla Backend = iota
+	// BackendRDMA is RDMA-Spark: Netty RPC plus a UCR BlockTransferService.
+	BackendRDMA
+	// BackendMPIBasic is MPI4Spark-Basic: every Netty message over MPI with
+	// an Iprobe-polling selector loop.
+	BackendMPIBasic
+	// BackendMPIOpt is MPI4Spark-Optimized: shuffle bodies over MPI,
+	// headers and control over sockets.
+	BackendMPIOpt
+)
+
+// String names the backend as the paper's figures do.
+func (b Backend) String() string {
+	switch b {
+	case BackendVanilla:
+		return "IPoIB"
+	case BackendRDMA:
+		return "RDMA"
+	case BackendMPIBasic:
+		return "MPI-Basic"
+	case BackendMPIOpt:
+		return "MPI"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// slot is one executor core's virtual clock. Tasks sharing a slot run
+// back-to-back in virtual time.
+type slot struct {
+	clock vtime.Clock
+}
+
+// Executor hosts task slots, a block manager, the shuffle machinery, and
+// an RPC environment on one simulated node.
+type Executor struct {
+	id   string
+	node *fabric.Node
+	env  *rpc.Env
+	bm   *storage.BlockManager
+	sm   *shuffle.Manager
+	bts  shuffle.BlockTransferService
+
+	tracker *shuffle.TrackerClient
+	loc     shuffle.Location
+	nSlots  int
+	slots   chan *slot
+	cpu     CPUModel
+
+	// inflate scales compute costs; the Basic design's polling starvation
+	// installs a >1 factor here.
+	inflate func() float64
+
+	ucrServer *ucr.Server
+
+	cacheMu sync.RWMutex
+	cached  map[cacheKey]any
+
+	ctx *Context
+}
+
+// ExecutorConfig configures NewExecutor.
+type ExecutorConfig struct {
+	ID     string
+	Node   *fabric.Node
+	Env    *rpc.Env
+	Slots  int
+	CPU    CPUModel
+	UseUCR bool
+	// UCRRegistry resolves peer UCR servers (required when UseUCR).
+	UCRRegistry shuffle.UCRServerRegistry
+	// UCRConfig tunes the UCR runtime (zero value selects defaults).
+	UCRConfig ucr.Config
+	// Inflate scales compute cost (nil means none).
+	Inflate func() float64
+}
+
+// NewExecutor builds an executor around an existing RPC environment. Call
+// Attach to wire it to a SparkContext before running jobs.
+func NewExecutor(cfg ExecutorConfig) *Executor {
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	e := &Executor{
+		id:      cfg.ID,
+		node:    cfg.Node,
+		env:     cfg.Env,
+		bm:      storage.NewBlockManager(cfg.ID),
+		nSlots:  cfg.Slots,
+		slots:   make(chan *slot, cfg.Slots),
+		cpu:     cfg.CPU,
+		inflate: cfg.Inflate,
+		cached:  make(map[cacheKey]any),
+	}
+	e.sm = shuffle.NewManager(e.bm)
+	e.loc = shuffle.Location{ExecID: cfg.ID, Addr: cfg.Env.Addr()}
+	for i := 0; i < cfg.Slots; i++ {
+		e.slots <- &slot{}
+	}
+	e.env.RegisterChunkResolver(func(id string) ([]byte, bool) {
+		return e.bm.Get(storage.BlockID(id))
+	})
+	if cfg.UseUCR {
+		ucrCfg := cfg.UCRConfig
+		if ucrCfg.ChunkSize == 0 {
+			ucrCfg = ucr.DefaultConfig()
+		}
+		e.ucrServer = ucr.NewServer(rdma.OpenDevice(cfg.Node), func(id string) ([]byte, bool) {
+			return e.bm.Get(storage.BlockID(id))
+		}, ucrCfg)
+		e.bts = shuffle.NewUCRBTS(rdma.OpenDevice(cfg.Node), cfg.UCRRegistry)
+	} else {
+		e.bts = shuffle.NewNettyBTS(e.env)
+	}
+	return e
+}
+
+// ID returns the executor's id.
+func (e *Executor) ID() string { return e.id }
+
+// Node returns the executor's node.
+func (e *Executor) Node() *fabric.Node { return e.node }
+
+// Env returns the executor's RPC environment.
+func (e *Executor) Env() *rpc.Env { return e.env }
+
+// BlockManager returns the executor's block store.
+func (e *Executor) BlockManager() *storage.BlockManager { return e.bm }
+
+// Location returns the executor's shuffle location.
+func (e *Executor) Location() shuffle.Location { return e.loc }
+
+// Slots returns the executor's task slot count.
+func (e *Executor) Slots() int { return e.nSlots }
+
+// UCRServer returns the executor's UCR block server (RDMA backend), or nil.
+func (e *Executor) UCRServer() *ucr.Server { return e.ucrServer }
+
+// SetInflate installs the compute-cost inflation hook.
+func (e *Executor) SetInflate(f func() float64) { e.inflate = f }
+
+// Attach wires the executor to a SparkContext: it learns the driver
+// address, creates the tracker client, and registers the Executor endpoint
+// that launches tasks.
+func (e *Executor) Attach(ctx *Context) error {
+	e.ctx = ctx
+	e.tracker = shuffle.NewTrackerClient(e.env, ctx.driver.Addr())
+	return e.env.RegisterEndpoint(ExecutorEndpoint, func(c *rpc.Call) {
+		if len(c.Payload) < 8 {
+			return
+		}
+		taskID := int64(binary.BigEndian.Uint64(c.Payload[:8]))
+		desc := ctx.lookupTask(taskID)
+		if desc == nil {
+			return
+		}
+		// Run the task on a slot without blocking the dispatch loop.
+		go e.runTask(desc, c.VT)
+	})
+}
+
+// runTask executes one task on a free slot and reports the status update
+// back to the driver.
+func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
+	s := <-e.slots
+	start := vtime.Max(s.clock.Now(), launchVT)
+	tc := &TaskContext{
+		StageID:   desc.stage.id,
+		Partition: desc.part,
+		exec:      e,
+		vt:        start,
+		cpu:       e.cpu,
+	}
+	result, mapStatus, err := desc.run(tc)
+	s.clock.Observe(tc.vt)
+	e.slots <- s
+
+	comp := &completion{
+		taskID:    desc.id,
+		part:      desc.part,
+		execID:    e.id,
+		result:    result,
+		mapStatus: mapStatus,
+		cached:    tc.newlyCached,
+		err:       err,
+		execVT:    tc.vt,
+		metrics: taskMetrics{
+			Records:       tc.recordsRead,
+			ShuffleBytes:  tc.bytesShuffled,
+			ShuffleWaitVT: tc.shuffleWaitDur,
+		},
+	}
+	e.ctx.storeCompletion(comp)
+
+	// StatusUpdate control message: task id plus the (modeled) serialized
+	// result.
+	size := 16 + desc.resultSize(result)
+	payload := make([]byte, 8, size)
+	binary.BigEndian.PutUint64(payload[:8], uint64(desc.id))
+	payload = payload[:size]
+	if _, err := e.env.Send(e.ctx.driver.Addr(), SchedulerEndpoint, payload, tc.vt); err != nil {
+		// Driver unreachable: surface through the completion (the driver
+		// will never see the status update; tests shut down cleanly).
+		comp.err = fmt.Errorf("spark: status update failed: %w", err)
+	}
+}
+
+func (e *Executor) getCached(rddID, part int) (any, bool) {
+	e.cacheMu.RLock()
+	defer e.cacheMu.RUnlock()
+	v, ok := e.cached[cacheKey{rddID: rddID, part: part}]
+	return v, ok
+}
+
+func (e *Executor) putCached(rddID, part int, v any) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	e.cached[cacheKey{rddID: rddID, part: part}] = v
+}
+
+// CachedPartitions returns how many partitions are cached on this executor.
+func (e *Executor) CachedPartitions() int {
+	e.cacheMu.RLock()
+	defer e.cacheMu.RUnlock()
+	return len(e.cached)
+}
+
+// DropCache clears the executor's cached partitions (between benchmark
+// repetitions).
+func (e *Executor) DropCache() {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	e.cached = make(map[cacheKey]any)
+}
+
+// Close releases the executor's resources (the env is owned by the deploy
+// layer and closed there).
+func (e *Executor) Close() {
+	if e.bts != nil {
+		e.bts.Close()
+	}
+	if e.ucrServer != nil {
+		e.ucrServer.Close()
+	}
+}

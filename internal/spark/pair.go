@@ -1,0 +1,250 @@
+package spark
+
+import (
+	"sort"
+	"time"
+)
+
+// ShuffleConf bundles what a wide transformation needs to move pairs across
+// the cluster: a wire codec, key operations, and the reduce-side partition
+// count.
+type ShuffleConf[K, V any] struct {
+	Codec PairCodec[K, V]
+	Ops   KeyOps[K]
+	Parts int
+}
+
+// partitionWrite builds the map-side write function for a shuffle: bucket
+// pairs with the partitioner, optionally pre-combine, and serialize each
+// bucket.
+func partitionWrite[K, V any](conf ShuffleConf[K, V], p Partitioner[K], combine func(tc *TaskContext, bucket []Pair[K, V]) []Pair[K, V]) func(any, *TaskContext) [][]byte {
+	return func(data any, tc *TaskContext) [][]byte {
+		pairs := data.([]Pair[K, V])
+		n := p.NumPartitions()
+		buckets := make([][]Pair[K, V], n)
+		for _, pr := range pairs {
+			i := p.PartitionFor(pr.K)
+			buckets[i] = append(buckets[i], pr)
+		}
+		tc.ChargeRecords(len(pairs), 0)
+		out := make([][]byte, n)
+		var bytes int
+		for i, b := range buckets {
+			if combine != nil {
+				b = combine(tc, b)
+			}
+			if len(b) == 0 {
+				continue
+			}
+			out[i] = EncodePairs(conf.Codec, b)
+			bytes += len(out[i])
+		}
+		// Serialization cost for the written shuffle data.
+		tc.Charge(time.Duration(tc.cpu.NsPerByte * float64(bytes)))
+		return out
+	}
+}
+
+// fetchDecode reads and deserializes all batches for a reduce partition.
+func fetchDecode[K, V any](conf ShuffleConf[K, V], dep *ShuffleDep, reduceID int, tc *TaskContext) ([]Pair[K, V], error) {
+	blocks, err := tc.FetchShuffle(dep.shuffleID, reduceID)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pair[K, V]
+	var bytes int
+	for _, b := range blocks {
+		if len(b) == 0 {
+			continue
+		}
+		pairs, err := DecodePairs(conf.Codec, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pairs...)
+		bytes += len(b)
+	}
+	tc.ChargeRecords(len(out), bytes)
+	return out, nil
+}
+
+// newShuffleStage wires a wide dependency from `in` and returns it.
+func newShuffleStage[K, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V], p Partitioner[K], combine func(*TaskContext, []Pair[K, V]) []Pair[K, V]) *ShuffleDep {
+	return &ShuffleDep{
+		shuffleID: in.ctx.nextShuffleID(),
+		parent:    in,
+		numReduce: p.NumPartitions(),
+		write:     partitionWrite(conf, p, combine),
+	}
+}
+
+// GroupByKey groups all values sharing a key into one sequence — the OHB
+// GroupBy benchmark's core transformation. K must be comparable.
+func GroupByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V]) *RDD[Pair[K, []V]] {
+	if conf.Parts < 1 {
+		conf.Parts = in.nParts
+	}
+	dep := newShuffleStage(in, conf, HashPartitioner[K]{N: conf.Parts, Ops: conf.Ops}, nil)
+	return newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, []V], error) {
+		pairs, err := fetchDecode(conf, dep, part, tc)
+		if err != nil {
+			return nil, err
+		}
+		groups := make(map[K][]V)
+		for _, p := range pairs {
+			groups[p.K] = append(groups[p.K], p.V)
+		}
+		tc.ChargeRecords(len(pairs), 0)
+		out := make([]Pair[K, []V], 0, len(groups))
+		for k, vs := range groups {
+			out = append(out, Pair[K, []V]{K: k, V: vs})
+		}
+		return out, nil
+	})
+}
+
+// ReduceByKey merges values per key with f, combining map-side first (the
+// standard Spark optimization that shrinks shuffle volume).
+func ReduceByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V], f func(a, b V) V) *RDD[Pair[K, V]] {
+	if conf.Parts < 1 {
+		conf.Parts = in.nParts
+	}
+	combine := func(tc *TaskContext, bucket []Pair[K, V]) []Pair[K, V] {
+		if len(bucket) == 0 {
+			return bucket
+		}
+		acc := make(map[K]V, len(bucket))
+		for _, p := range bucket {
+			if cur, ok := acc[p.K]; ok {
+				acc[p.K] = f(cur, p.V)
+			} else {
+				acc[p.K] = p.V
+			}
+		}
+		tc.ChargeRecords(len(bucket), 0)
+		out := make([]Pair[K, V], 0, len(acc))
+		for k, v := range acc {
+			out = append(out, Pair[K, V]{K: k, V: v})
+		}
+		return out
+	}
+	dep := newShuffleStage(in, conf, HashPartitioner[K]{N: conf.Parts, Ops: conf.Ops}, combine)
+	return newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
+		pairs, err := fetchDecode(conf, dep, part, tc)
+		if err != nil {
+			return nil, err
+		}
+		acc := make(map[K]V, len(pairs))
+		for _, p := range pairs {
+			if cur, ok := acc[p.K]; ok {
+				acc[p.K] = f(cur, p.V)
+			} else {
+				acc[p.K] = p.V
+			}
+		}
+		tc.ChargeRecords(len(pairs), 0)
+		out := make([]Pair[K, V], 0, len(acc))
+		for k, v := range acc {
+			out = append(out, Pair[K, V]{K: k, V: v})
+		}
+		return out, nil
+	})
+}
+
+// SortByKey returns an RDD whose partitions are globally ordered: a range
+// partitioner (built from the provided key sample) routes keys, and each
+// reduce partition sorts locally — the OHB SortBy and TeraSort pattern.
+// Use SampleKeys to obtain the sample.
+func SortByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V], sample []K) *RDD[Pair[K, V]] {
+	if conf.Parts < 1 {
+		conf.Parts = in.nParts
+	}
+	p := NewRangePartitioner(sample, conf.Parts, conf.Ops)
+	dep := newShuffleStage(in, conf, p, nil)
+	return newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
+		pairs, err := fetchDecode(conf, dep, part, tc)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(pairs, func(i, j int) bool { return conf.Ops.Less(pairs[i].K, pairs[j].K) })
+		tc.ChargeSort(len(pairs))
+		return pairs, nil
+	})
+}
+
+// SampleKeys runs a lightweight job collecting roughly `per` keys per
+// partition, for building range partitioners driver-side (Spark's
+// RangePartitioner does the same sampling pass).
+func SampleKeys[K, V any](in *RDD[Pair[K, V]], per int) ([]K, error) {
+	if per < 1 {
+		per = 16
+	}
+	sampled := MapPartitions(in, func(part int, tc *TaskContext, items []Pair[K, V]) ([]K, error) {
+		if len(items) == 0 {
+			return nil, nil
+		}
+		step := len(items)/per + 1
+		var out []K
+		for i := 0; i < len(items); i += step {
+			out = append(out, items[i].K)
+		}
+		tc.ChargeRecords(len(items), 0)
+		return out, nil
+	})
+	groups, err := Collect(sampled)
+	if err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+// Repartition redistributes records round-robin across n partitions via a
+// full shuffle — HiBench's Repartition micro-benchmark.
+func Repartition[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V], n int) *RDD[Pair[K, V]] {
+	if n < 1 {
+		n = in.nParts
+	}
+	conf.Parts = n
+	// Round-robin via hash of a rotating counter is approximated with the
+	// key hash, salted per map partition by Spark; plain hash partitioning
+	// gives the same all-to-all traffic pattern.
+	dep := newShuffleStage(in, conf, HashPartitioner[K]{N: n, Ops: conf.Ops}, nil)
+	return newRDD(in.ctx, n, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
+		return fetchDecode(conf, dep, part, tc)
+	})
+}
+
+// Join inner-joins two pair RDDs on their keys (an extension beyond the
+// paper's benchmarks, exercising multi-parent stages).
+func Join[K comparable, V, W any](left *RDD[Pair[K, V]], lconf ShuffleConf[K, V], right *RDD[Pair[K, W]], rconf ShuffleConf[K, W]) *RDD[Pair[K, Pair[V, W]]] {
+	parts := lconf.Parts
+	if parts < 1 {
+		parts = left.nParts
+	}
+	lp := HashPartitioner[K]{N: parts, Ops: lconf.Ops}
+	rp := HashPartitioner[K]{N: parts, Ops: rconf.Ops}
+	ldep := newShuffleStage(left, ShuffleConf[K, V]{Codec: lconf.Codec, Ops: lconf.Ops, Parts: parts}, lp, nil)
+	rdep := newShuffleStage(right, ShuffleConf[K, W]{Codec: rconf.Codec, Ops: rconf.Ops, Parts: parts}, rp, nil)
+	return newRDD(left.ctx, parts, []Dependency{ldep, rdep}, func(part int, tc *TaskContext) ([]Pair[K, Pair[V, W]], error) {
+		lpairs, err := fetchDecode(ShuffleConf[K, V]{Codec: lconf.Codec, Ops: lconf.Ops}, ldep, part, tc)
+		if err != nil {
+			return nil, err
+		}
+		rpairs, err := fetchDecode(ShuffleConf[K, W]{Codec: rconf.Codec, Ops: rconf.Ops}, rdep, part, tc)
+		if err != nil {
+			return nil, err
+		}
+		lm := make(map[K][]V)
+		for _, p := range lpairs {
+			lm[p.K] = append(lm[p.K], p.V)
+		}
+		var out []Pair[K, Pair[V, W]]
+		for _, p := range rpairs {
+			for _, v := range lm[p.K] {
+				out = append(out, Pair[K, Pair[V, W]]{K: p.K, V: Pair[V, W]{K: v, V: p.V}})
+			}
+		}
+		tc.ChargeRecords(len(lpairs)+len(rpairs)+len(out), 0)
+		return out, nil
+	})
+}

@@ -1,0 +1,71 @@
+package spark
+
+import "sort"
+
+// Partitioner maps keys to reduce partitions.
+type Partitioner[K any] interface {
+	NumPartitions() int
+	PartitionFor(k K) int
+}
+
+// HashPartitioner distributes keys by hash, Spark's default.
+type HashPartitioner[K any] struct {
+	N   int
+	Ops KeyOps[K]
+}
+
+// NumPartitions implements Partitioner.
+func (p HashPartitioner[K]) NumPartitions() int { return p.N }
+
+// PartitionFor implements Partitioner.
+func (p HashPartitioner[K]) PartitionFor(k K) int {
+	return int(p.Ops.Hash(k) % uint64(p.N))
+}
+
+// RangePartitioner assigns contiguous key ranges to partitions, used by
+// sortByKey so partition order equals global order. Bounds holds N-1 upper
+// bounds; keys <= Bounds[i] (and > Bounds[i-1]) go to partition i.
+type RangePartitioner[K any] struct {
+	Bounds []K
+	Ops    KeyOps[K]
+}
+
+// NumPartitions implements Partitioner.
+func (p RangePartitioner[K]) NumPartitions() int { return len(p.Bounds) + 1 }
+
+// PartitionFor implements Partitioner.
+func (p RangePartitioner[K]) PartitionFor(k K) int {
+	// Binary search for the first bound >= k.
+	lo, hi := 0, len(p.Bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Ops.Less(p.Bounds[mid], k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// NewRangePartitioner derives bounds from a sample of keys so that the n
+// partitions receive approximately equal record counts, mirroring Spark's
+// sampled RangePartitioner.
+func NewRangePartitioner[K any](sample []K, n int, ops KeyOps[K]) RangePartitioner[K] {
+	if n < 1 {
+		n = 1
+	}
+	sorted := append([]K(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return ops.Less(sorted[i], sorted[j]) })
+	bounds := make([]K, 0, n-1)
+	if len(sorted) > 0 {
+		for i := 1; i < n; i++ {
+			idx := i * len(sorted) / n
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			bounds = append(bounds, sorted[idx])
+		}
+	}
+	return RangePartitioner[K]{Bounds: bounds, Ops: ops}
+}

@@ -1,0 +1,228 @@
+package spark
+
+import (
+	"time"
+
+	"mpi4spark/internal/vtime"
+)
+
+// CPUModel holds the per-operation compute cost coefficients used to charge
+// virtual time for record processing. One model applies per cluster
+// profile (it encodes the simulated node's core speed).
+type CPUModel struct {
+	// NsPerRecord is the cost of touching one record (iterator overhead,
+	// function call, hashing).
+	NsPerRecord float64
+	// NsPerByte is the cost of serializing/deserializing or copying one
+	// byte.
+	NsPerByte float64
+	// SortNsPerCmp is the cost of one comparison during sorting.
+	SortNsPerCmp float64
+}
+
+// DefaultCPUModel approximates a ~2.5 GHz Xeon core running JVM Spark.
+func DefaultCPUModel() CPUModel {
+	return CPUModel{NsPerRecord: 60, NsPerByte: 0.25, SortNsPerCmp: 15}
+}
+
+// cacheKey identifies a cached RDD partition.
+type cacheKey struct {
+	rddID int
+	part  int
+}
+
+// TaskContext is the per-task runtime handed to compute functions: it owns
+// the task's virtual clock, charges modeled compute costs, and provides
+// shuffle reads through the hosting executor.
+type TaskContext struct {
+	StageID   int
+	Partition int
+
+	exec *Executor
+	vt   vtime.Stamp
+	cpu  CPUModel
+
+	recordsRead    int64
+	bytesShuffled  int64
+	newlyCached    []cacheKey
+	shuffleReadVT  vtime.Stamp // vt after the last shuffle fetch completed
+	shuffleWaitDur vtime.Stamp // cumulative time spent waiting on shuffle fetches
+}
+
+// VT returns the task's current virtual time.
+func (tc *TaskContext) VT() vtime.Stamp { return tc.vt }
+
+// Observe advances the task clock to at least vt.
+func (tc *TaskContext) Observe(vt vtime.Stamp) {
+	if vt > tc.vt {
+		tc.vt = vt
+	}
+}
+
+// Charge adds modeled compute cost, inflated by the executor's compute
+// inflator (the Basic design's polling starvation).
+func (tc *TaskContext) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f := 1.0
+	if tc.exec != nil && tc.exec.inflate != nil {
+		f = tc.exec.inflate()
+	}
+	tc.vt = tc.vt.Add(time.Duration(float64(d) * f))
+}
+
+// ChargeRecords charges the standard per-record plus per-byte cost for
+// processing n records spanning the given bytes.
+func (tc *TaskContext) ChargeRecords(n int, bytes int) {
+	tc.recordsRead += int64(n)
+	tc.Charge(time.Duration(tc.cpu.NsPerRecord*float64(n) + tc.cpu.NsPerByte*float64(bytes)))
+}
+
+// ChargeSort charges an n·log₂(n) comparison-sort cost for n records.
+func (tc *TaskContext) ChargeSort(n int) {
+	if n < 2 {
+		return
+	}
+	log2 := 0
+	for v := n; v > 1; v >>= 1 {
+		log2++
+	}
+	tc.Charge(time.Duration(tc.cpu.SortNsPerCmp * float64(n) * float64(log2)))
+}
+
+// CPU returns the task's cost model.
+func (tc *TaskContext) CPU() CPUModel { return tc.cpu }
+
+// RecordsRead returns the task's record-processing counter.
+func (tc *TaskContext) RecordsRead() int64 { return tc.recordsRead }
+
+// BytesShuffled returns the bytes this task fetched through the shuffle.
+func (tc *TaskContext) BytesShuffled() int64 { return tc.bytesShuffled }
+
+// FetchShuffle retrieves every map output block destined for reduceID in
+// the given shuffle, advancing the task clock to the arrival of the last
+// block. It returns the raw serialized batches in map-id order.
+func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([][]byte, error) {
+	e := tc.exec
+	statuses, vt, err := e.tracker.GetOutputs(shuffleID, tc.vt)
+	if err != nil {
+		return nil, err
+	}
+	tc.Observe(vt)
+	start := tc.vt
+	results, vt2, err := e.sm.FetchShuffleParts(shuffleID, reduceID, statuses, e.id, e.bts, tc.vt)
+	if err != nil {
+		return nil, err
+	}
+	tc.Observe(vt2)
+	tc.shuffleReadVT = tc.vt
+	tc.shuffleWaitDur += tc.vt - start
+	out := make([][]byte, len(results))
+	for i, r := range results {
+		out[i] = r.Data
+		tc.bytesShuffled += int64(len(r.Data))
+	}
+	return out, nil
+}
+
+// Dependency is an edge in the RDD lineage graph.
+type Dependency interface {
+	parentRDD() rddBase
+}
+
+// narrowDep is a one-to-one partition dependency (map, filter, flatMap).
+type narrowDep struct{ parent rddBase }
+
+func (d narrowDep) parentRDD() rddBase { return d.parent }
+
+// ShuffleDep is a wide dependency: the child's partitions depend on all
+// parent partitions through a shuffle.
+type ShuffleDep struct {
+	shuffleID int
+	parent    rddBase
+	numReduce int
+	// write partitions and serializes one parent partition's output into
+	// per-reduce blocks — the map side of the shuffle.
+	write func(data any, tc *TaskContext) [][]byte
+}
+
+func (d *ShuffleDep) parentRDD() rddBase { return d.parent }
+
+// ShuffleID returns the dependency's shuffle id.
+func (d *ShuffleDep) ShuffleID() int { return d.shuffleID }
+
+// rddBase is the type-erased RDD view the scheduler operates on.
+type rddBase interface {
+	rddID() int
+	partitions() int
+	dependencies() []Dependency
+	isCached() bool
+	// computePartition materializes one partition (as a []T boxed in any).
+	computePartition(part int, tc *TaskContext) (any, error)
+	// records reports how many records a materialized partition holds.
+	records(data any) int
+}
+
+// RDD is a resilient distributed dataset of T: a lazy, partitioned
+// collection defined by its lineage.
+type RDD[T any] struct {
+	ctx     *Context
+	id      int
+	nParts  int
+	deps    []Dependency
+	compute func(part int, tc *TaskContext) ([]T, error)
+	cached  bool
+}
+
+func newRDD[T any](ctx *Context, nParts int, deps []Dependency, compute func(int, *TaskContext) ([]T, error)) *RDD[T] {
+	return &RDD[T]{ctx: ctx, id: ctx.nextRDDID(), nParts: nParts, deps: deps, compute: compute}
+}
+
+// Context returns the owning SparkContext.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// ID returns the RDD's unique id.
+func (r *RDD[T]) ID() int { return r.id }
+
+// NumPartitions returns the RDD's partition count.
+func (r *RDD[T]) NumPartitions() int { return r.nParts }
+
+// Cache marks the RDD for in-memory caching: the first job that computes a
+// partition stores it on the computing executor, and later stages schedule
+// onto those executors (locality), mirroring MEMORY_ONLY persistence.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.cached = true
+	return r
+}
+
+func (r *RDD[T]) rddID() int                 { return r.id }
+func (r *RDD[T]) partitions() int            { return r.nParts }
+func (r *RDD[T]) dependencies() []Dependency { return r.deps }
+func (r *RDD[T]) isCached() bool             { return r.cached }
+
+func (r *RDD[T]) records(data any) int {
+	if data == nil {
+		return 0
+	}
+	return len(data.([]T))
+}
+
+func (r *RDD[T]) computePartition(part int, tc *TaskContext) (any, error) {
+	if r.cached && tc.exec != nil {
+		if v, ok := tc.exec.getCached(r.id, part); ok {
+			// Cached read: charge a light in-memory scan.
+			tc.Charge(time.Duration(float64(r.records(v)) * tc.cpu.NsPerRecord / 4))
+			return v, nil
+		}
+	}
+	out, err := r.compute(part, tc)
+	if err != nil {
+		return nil, err
+	}
+	if r.cached && tc.exec != nil {
+		tc.exec.putCached(r.id, part, out)
+		tc.newlyCached = append(tc.newlyCached, cacheKey{rddID: r.id, part: part})
+	}
+	return out, nil
+}

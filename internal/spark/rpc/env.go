@@ -1,0 +1,550 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/netty"
+	"mpi4spark/internal/vtime"
+)
+
+// ErrShutdown is returned for operations on a stopped environment.
+var ErrShutdown = errors.New("rpc: environment shut down")
+
+// Handler processes calls delivered to an endpoint. Handlers run on the
+// endpoint's dispatch goroutine, one call at a time (Spark's dispatcher
+// semantics); long work must be handed off.
+type Handler func(c *Call)
+
+// Call is one inbound endpoint message.
+type Call struct {
+	// From is the sender environment's name.
+	From string
+	// Payload is the opaque request body.
+	Payload []byte
+	// VT is the virtual time at which the handler runs.
+	VT    vtime.Stamp
+	reply func(payload []byte, vt vtime.Stamp)
+}
+
+// Reply answers an ask-style call. It is a no-op for one-way messages.
+func (c *Call) Reply(payload []byte, vt vtime.Stamp) {
+	if c.reply != nil {
+		c.reply(payload, vt)
+	}
+}
+
+// OneWay reports whether the call expects no reply.
+func (c *Call) OneWay() bool { return c.reply == nil }
+
+// PipelineHooks lets a transport implementation (the MPI designs in
+// internal/core) install extra handlers on every channel's pipeline.
+type PipelineHooks interface {
+	// InstallClient is invoked for channels this environment dialed.
+	InstallClient(ch *netty.Channel, env *Env)
+	// InstallServer is invoked for channels this environment accepted.
+	InstallServer(ch *netty.Channel, env *Env)
+}
+
+// EnvConfig configures an Env.
+type EnvConfig struct {
+	// DispatchCost is the modeled per-message endpoint dispatch cost.
+	DispatchCost time.Duration
+	// ChunkServeCost is the modeled per-request stream-manager cost for
+	// chunk fetches.
+	ChunkServeCost time.Duration
+	// ReadEventCost is the modeled selector/pipeline cost per inbound
+	// message.
+	ReadEventCost time.Duration
+	// Protocol is the socket protocol used for dialing (TCP for Spark;
+	// the MPI designs keep TCP sockets for establishment and headers).
+	Protocol fabric.Protocol
+	// EventLoops is the number of event loops (default 1).
+	EventLoops int
+	// NonBlockingSelect switches the loops to non-blocking select mode
+	// (MPI4Spark-Basic).
+	NonBlockingSelect bool
+	// TransportFactory overrides the channel transport (MPI designs).
+	TransportFactory netty.TransportFactory
+	// Hooks install extra pipeline handlers (MPI designs).
+	Hooks PipelineHooks
+}
+
+// DefaultEnvConfig returns the vanilla-Spark configuration.
+func DefaultEnvConfig() EnvConfig {
+	return EnvConfig{
+		DispatchCost:   2 * time.Microsecond,
+		ChunkServeCost: 3 * time.Microsecond,
+		ReadEventCost:  1 * time.Microsecond,
+		Protocol:       fabric.TCP,
+		EventLoops:     1,
+	}
+}
+
+type askReply struct {
+	data []byte
+	vt   vtime.Stamp
+	err  error
+}
+
+type clientConn struct {
+	ch    *netty.Channel
+	ready vtime.Stamp
+}
+
+// Env is a process's RPC environment (Spark's RpcEnv): a netty server, a
+// set of named endpoints, outbound connections, and the block/stream
+// transfer service surface.
+type Env struct {
+	name string
+	node *fabric.Node
+	cfg  EnvConfig
+
+	group  *netty.EventLoopGroup
+	server *netty.Server
+	addr   fabric.Addr
+
+	mu            sync.Mutex
+	endpoints     map[string]*endpoint
+	conns         map[string]*clientConn
+	pending       map[int64]chan askReply
+	streamPending map[string][]chan askReply
+	closed        bool
+
+	reqSeq atomic.Int64
+
+	chunkClock     vtime.Clock
+	chunkResolver  func(blockID string) ([]byte, bool)
+	streamResolver func(streamID string) ([]byte, bool)
+
+	// OnChannelActive, when set, observes every new channel (diagnostics
+	// and the connection-establishment rank exchange in internal/core).
+	OnChannelActive func(ch *netty.Channel, server bool)
+}
+
+// NewEnv starts an RPC environment named name on the given node, listening
+// on port.
+func NewEnv(name string, node *fabric.Node, port string, cfg EnvConfig) (*Env, error) {
+	if cfg.EventLoops < 1 {
+		cfg.EventLoops = 1
+	}
+	e := &Env{
+		name:      name,
+		node:      node,
+		cfg:       cfg,
+		endpoints: make(map[string]*endpoint),
+		conns:     make(map[string]*clientConn),
+		pending:   make(map[int64]chan askReply),
+	}
+	e.group = netty.NewEventLoopGroup(cfg.EventLoops, netty.LoopConfig{
+		ReadEventCost:     cfg.ReadEventCost,
+		NonBlockingSelect: cfg.NonBlockingSelect,
+	})
+	sb := &netty.ServerBootstrap{
+		Group:   e.group,
+		Factory: cfg.TransportFactory,
+		Initializer: func(ch *netty.Channel) {
+			e.initPipeline(ch, true)
+		},
+	}
+	srv, err := sb.Listen(node, port)
+	if err != nil {
+		e.group.Shutdown()
+		return nil, err
+	}
+	e.server = srv
+	e.addr = srv.Addr()
+	return e, nil
+}
+
+// Name returns the environment's name.
+func (e *Env) Name() string { return e.name }
+
+// Node returns the node the environment runs on.
+func (e *Env) Node() *fabric.Node { return e.node }
+
+// Addr returns the environment's listening address.
+func (e *Env) Addr() fabric.Addr { return e.addr }
+
+// Group exposes the environment's event loop group (the MPI-Basic design
+// attaches its Iprobe poll to it).
+func (e *Env) Group() *netty.EventLoopGroup { return e.group }
+
+// initPipeline builds the standard Spark channel pipeline:
+// frame codec, message codec, optional transport hooks, dispatcher.
+func (e *Env) initPipeline(ch *netty.Channel, server bool) {
+	p := ch.Pipeline()
+	p.AddLast("frameEncoder", &netty.FrameEncoder{})
+	p.AddLast("frameDecoder", &netty.FrameDecoder{})
+	p.AddLast("messageEncoder", &messageEncoder{})
+	p.AddLast("messageDecoder", &messageDecoder{})
+	if e.cfg.Hooks != nil {
+		if server {
+			e.cfg.Hooks.InstallServer(ch, e)
+		} else {
+			e.cfg.Hooks.InstallClient(ch, e)
+		}
+	}
+	p.AddLast("dispatcher", &dispatchHandler{env: e})
+	if e.OnChannelActive != nil {
+		e.OnChannelActive(ch, server)
+	}
+}
+
+// messageEncoder turns typed Messages into framed byte buffers.
+type messageEncoder struct{}
+
+func (h *messageEncoder) Write(ctx *netty.Context, msg any) {
+	m, ok := msg.(Message)
+	if !ok {
+		// Already encoded (or raw) — pass through.
+		ctx.Write(msg)
+		return
+	}
+	ctx.Write(EncodeToBuf(m))
+}
+
+// messageDecoder parses frame bodies back into typed Messages.
+type messageDecoder struct{}
+
+func (h *messageDecoder) ChannelRead(ctx *netty.Context, msg any) {
+	buf, ok := msg.(*bytebuf.Buf)
+	if !ok {
+		ctx.FireChannelRead(msg)
+		return
+	}
+	m, err := Decode(buf)
+	if err != nil {
+		return // corrupt frame: drop, as Spark's TransportChannelHandler logs-and-drops
+	}
+	ctx.FireChannelRead(m)
+}
+
+// dispatchHandler is the pipeline tail: it routes typed messages to
+// endpoints, pending asks, and the chunk/stream managers.
+type dispatchHandler struct{ env *Env }
+
+func (h *dispatchHandler) ChannelRead(ctx *netty.Context, msg any) {
+	e := h.env
+	vt := ctx.VT()
+	ch := ctx.Channel()
+	switch m := msg.(type) {
+	case *RpcRequest:
+		e.deliverToEndpoint(m.Endpoint, &Call{
+			From:    m.From,
+			Payload: m.Payload,
+			VT:      vt,
+			reply: func(payload []byte, rvt vtime.Stamp) {
+				ch.Write(&RpcResponse{ReqID: m.ReqID, Payload: payload}, rvt)
+			},
+		})
+	case *OneWayMessage:
+		e.deliverToEndpoint(m.Endpoint, &Call{From: m.From, Payload: m.Payload, VT: vt})
+	case *RpcResponse:
+		e.resolveAsk(m.ReqID, askReply{data: m.Payload, vt: vt})
+	case *RpcFailure:
+		e.resolveAsk(m.ReqID, askReply{err: errors.New(m.Error), vt: vt})
+	case *ChunkFetchRequest:
+		e.serveChunk(ch, m, vt)
+	case *ChunkFetchSuccess:
+		e.resolveAsk(m.FetchID, askReply{data: m.Body, vt: vt})
+	case *StreamRequest:
+		e.serveStream(ch, m, vt)
+	case *StreamResponse:
+		e.resolveStream(m, vt)
+	}
+}
+
+func (e *Env) deliverToEndpoint(name string, c *Call) {
+	e.mu.Lock()
+	ep := e.endpoints[name]
+	e.mu.Unlock()
+	if ep == nil {
+		return
+	}
+	ep.enqueue(c)
+}
+
+func (e *Env) resolveAsk(id int64, r askReply) {
+	e.mu.Lock()
+	chn := e.pending[id]
+	delete(e.pending, id)
+	e.mu.Unlock()
+	if chn != nil {
+		chn <- r
+	}
+}
+
+// serveChunk answers a ChunkFetchRequest from the registered resolver.
+// Serving is serialized on the environment's stream-manager clock.
+func (e *Env) serveChunk(ch *netty.Channel, m *ChunkFetchRequest, vt vtime.Stamp) {
+	e.mu.Lock()
+	resolver := e.chunkResolver
+	e.mu.Unlock()
+	svt := e.chunkClock.ObserveAndAdvance(vt, e.cfg.ChunkServeCost)
+	if resolver == nil {
+		ch.Write(&RpcFailure{ReqID: m.FetchID, Error: "no chunk resolver"}, svt)
+		return
+	}
+	body, ok := resolver(m.BlockID)
+	if !ok {
+		ch.Write(&RpcFailure{ReqID: m.FetchID, Error: fmt.Sprintf("block not found: %s", m.BlockID)}, svt)
+		return
+	}
+	ch.Write(&ChunkFetchSuccess{FetchID: m.FetchID, BlockID: m.BlockID, Body: body}, svt)
+}
+
+func (e *Env) serveStream(ch *netty.Channel, m *StreamRequest, vt vtime.Stamp) {
+	e.mu.Lock()
+	resolver := e.streamResolver
+	e.mu.Unlock()
+	svt := e.chunkClock.ObserveAndAdvance(vt, e.cfg.ChunkServeCost)
+	if resolver == nil {
+		return
+	}
+	if body, ok := resolver(m.StreamID); ok {
+		ch.Write(&StreamResponse{StreamID: m.StreamID, Body: body}, svt)
+	}
+}
+
+func (e *Env) resolveStream(m *StreamResponse, vt vtime.Stamp) {
+	e.mu.Lock()
+	waiters := e.streamPending[m.StreamID]
+	delete(e.streamPending, m.StreamID)
+	e.mu.Unlock()
+	// Every concurrent fetcher of the stream resolves from one response
+	// (duplicate requests for the same stream are folded together).
+	for _, chn := range waiters {
+		chn <- askReply{data: m.Body, vt: vt}
+	}
+}
+
+// endpoint is a named message target with serialized dispatch.
+type endpoint struct {
+	name    string
+	handler Handler
+	cost    time.Duration
+	clock   vtime.Clock
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Call
+	closed bool
+}
+
+func (ep *endpoint) enqueue(c *Call) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	ep.queue = append(ep.queue, c)
+	ep.cond.Signal()
+}
+
+func (ep *endpoint) loop() {
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if len(ep.queue) == 0 && ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		c := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		ep.mu.Unlock()
+		ep.clock.Observe(c.VT)
+		c.VT = ep.clock.Advance(ep.cost)
+		ep.handler(c)
+	}
+}
+
+func (ep *endpoint) close() {
+	ep.mu.Lock()
+	ep.closed = true
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}
+
+// RegisterEndpoint installs a named endpoint. Calls are dispatched
+// sequentially on a dedicated goroutine.
+func (e *Env) RegisterEndpoint(name string, h Handler) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrShutdown
+	}
+	if _, ok := e.endpoints[name]; ok {
+		return fmt.Errorf("rpc: endpoint %q already registered", name)
+	}
+	ep := &endpoint{name: name, handler: h, cost: e.cfg.DispatchCost}
+	ep.cond = sync.NewCond(&ep.mu)
+	e.endpoints[name] = ep
+	go ep.loop()
+	return nil
+}
+
+// RegisterChunkResolver installs the block resolver behind ChunkFetch
+// requests (the BlockTransferService server side).
+func (e *Env) RegisterChunkResolver(fn func(blockID string) ([]byte, bool)) {
+	e.mu.Lock()
+	e.chunkResolver = fn
+	e.mu.Unlock()
+}
+
+// RegisterStreamResolver installs the resolver behind StreamRequests.
+func (e *Env) RegisterStreamResolver(fn func(streamID string) ([]byte, bool)) {
+	e.mu.Lock()
+	e.streamResolver = fn
+	e.mu.Unlock()
+}
+
+// connTo returns a (cached) channel to the peer environment at addr.
+func (e *Env) connTo(addr fabric.Addr, at vtime.Stamp) (*netty.Channel, vtime.Stamp, error) {
+	key := addr.String()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, at, ErrShutdown
+	}
+	if c, ok := e.conns[key]; ok && !c.ch.Conn().Closed() {
+		e.mu.Unlock()
+		return c.ch, vtime.Max(at, c.ready), nil
+	}
+	e.mu.Unlock()
+
+	b := &netty.Bootstrap{
+		Group:    e.group,
+		Protocol: e.cfg.Protocol,
+		Factory:  e.cfg.TransportFactory,
+		Initializer: func(ch *netty.Channel) {
+			e.initPipeline(ch, false)
+		},
+	}
+	ch, ready, err := b.Connect(e.node, addr, at)
+	if err != nil {
+		return nil, at, err
+	}
+	e.mu.Lock()
+	e.conns[key] = &clientConn{ch: ch, ready: ready}
+	e.mu.Unlock()
+	return ch, ready, nil
+}
+
+// Ask performs a request/response RPC against the named endpoint at peer.
+// It blocks until the reply arrives and returns the payload plus the
+// virtual completion time.
+func (e *Env) Ask(peer fabric.Addr, endpointName string, payload []byte, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	ch, vt, err := e.connTo(peer, at)
+	if err != nil {
+		return nil, at, err
+	}
+	id := e.reqSeq.Add(1)
+	reply := make(chan askReply, 1)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, at, ErrShutdown
+	}
+	e.pending[id] = reply
+	e.mu.Unlock()
+	ch.Write(&RpcRequest{ReqID: id, Endpoint: endpointName, From: e.name, Payload: payload}, vt)
+	r := <-reply
+	return r.data, vtime.Max(r.vt, at), r.err
+}
+
+// Send delivers a one-way message to the named endpoint at peer. It
+// returns the virtual time the caller's CPU is free.
+func (e *Env) Send(peer fabric.Addr, endpointName string, payload []byte, at vtime.Stamp) (vtime.Stamp, error) {
+	ch, vt, err := e.connTo(peer, at)
+	if err != nil {
+		return at, err
+	}
+	free := ch.Write(&OneWayMessage{Endpoint: endpointName, From: e.name, Payload: payload}, vt)
+	return free, nil
+}
+
+// FetchChunk fetches a block from the peer's chunk resolver using the
+// ChunkFetchRequest/Success message pair — the shuffle data path.
+func (e *Env) FetchChunk(peer fabric.Addr, blockID string, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	ch, vt, err := e.connTo(peer, at)
+	if err != nil {
+		return nil, at, err
+	}
+	id := e.reqSeq.Add(1)
+	reply := make(chan askReply, 1)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, at, ErrShutdown
+	}
+	e.pending[id] = reply
+	e.mu.Unlock()
+	ch.Write(&ChunkFetchRequest{FetchID: id, BlockID: blockID}, vt)
+	r := <-reply
+	return r.data, vtime.Max(r.vt, at), r.err
+}
+
+// FetchStream opens a stream from the peer (jar/file distribution).
+func (e *Env) FetchStream(peer fabric.Addr, streamID string, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	ch, vt, err := e.connTo(peer, at)
+	if err != nil {
+		return nil, at, err
+	}
+	reply := make(chan askReply, 1)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, at, ErrShutdown
+	}
+	if e.streamPending == nil {
+		e.streamPending = make(map[string][]chan askReply)
+	}
+	e.streamPending[streamID] = append(e.streamPending[streamID], reply)
+	e.mu.Unlock()
+	ch.Write(&StreamRequest{StreamID: streamID}, vt)
+	r := <-reply
+	return r.data, vtime.Max(r.vt, at), r.err
+}
+
+// Shutdown stops the environment: the server, all connections, all
+// endpoints, and the event loops.
+func (e *Env) Shutdown() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	eps := e.endpoints
+	conns := e.conns
+	pending := e.pending
+	streams := e.streamPending
+	e.pending = make(map[int64]chan askReply)
+	e.streamPending = nil
+	e.mu.Unlock()
+
+	for _, p := range pending {
+		p <- askReply{err: ErrShutdown}
+	}
+	for _, ws := range streams {
+		for _, w := range ws {
+			w <- askReply{err: ErrShutdown}
+		}
+	}
+	for _, ep := range eps {
+		ep.close()
+	}
+	for _, c := range conns {
+		c.ch.Close()
+	}
+	e.server.Close()
+	e.group.Shutdown()
+}

@@ -1,0 +1,405 @@
+// Package rpc implements Spark's RPC and block-transfer messaging over the
+// netty framework: the message types of the paper's Table II, the framed
+// wire encoding, endpoint dispatch with request/response correlation, and
+// the client/server environment (RpcEnv) every Spark process owns.
+package rpc
+
+import (
+	"fmt"
+
+	"mpi4spark/internal/bytebuf"
+)
+
+// MsgType identifies a wire message, mirroring Spark's message tagging.
+type MsgType byte
+
+// The message types of Table II.
+const (
+	// TypeRpcRequest is a request to perform a generic RPC.
+	TypeRpcRequest MsgType = iota + 1
+	// TypeRpcResponse is a response to an RpcRequest for a successful RPC.
+	TypeRpcResponse
+	// TypeOneWayMessage is an RPC that does not expect a reply.
+	TypeOneWayMessage
+	// TypeChunkFetchRequest is a request to fetch a single chunk of a stream.
+	TypeChunkFetchRequest
+	// TypeChunkFetchSuccess is the response to a ChunkFetchRequest when the
+	// chunk exists and has been successfully fetched.
+	TypeChunkFetchSuccess
+	// TypeStreamRequest is a request to stream data from the remote end.
+	TypeStreamRequest
+	// TypeStreamResponse is the response to a StreamRequest when the stream
+	// has been successfully opened.
+	TypeStreamResponse
+	// TypeRpcFailure reports a failed RPC (Spark's RpcFailure).
+	TypeRpcFailure
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeRpcRequest:
+		return "RpcRequest"
+	case TypeRpcResponse:
+		return "RpcResponse"
+	case TypeOneWayMessage:
+		return "OneWayMessage"
+	case TypeChunkFetchRequest:
+		return "ChunkFetchRequest"
+	case TypeChunkFetchSuccess:
+		return "ChunkFetchSuccess"
+	case TypeStreamRequest:
+		return "StreamRequest"
+	case TypeStreamResponse:
+		return "StreamResponse"
+	case TypeRpcFailure:
+		return "RpcFailure"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// Message is any wire message.
+type Message interface {
+	// Type returns the message's wire tag.
+	Type() MsgType
+	// Encode appends the message (tag included) to buf.
+	Encode(buf *bytebuf.Buf)
+	// WireSize estimates the encoded size in bytes (used for modeling
+	// before encoding).
+	WireSize() int
+}
+
+// RpcRequest asks the named endpoint at the remote environment to handle
+// Payload and reply.
+type RpcRequest struct {
+	ReqID    int64
+	Endpoint string
+	From     string
+	Payload  []byte
+}
+
+// Type implements Message.
+func (m *RpcRequest) Type() MsgType { return TypeRpcRequest }
+
+// WireSize implements Message.
+func (m *RpcRequest) WireSize() int {
+	return 1 + 8 + 8 + len(m.Endpoint) + len(m.From) + len(m.Payload)
+}
+
+// Encode implements Message.
+func (m *RpcRequest) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeRpcRequest))
+	buf.WriteInt64(m.ReqID)
+	buf.WriteString(m.Endpoint)
+	buf.WriteString(m.From)
+	buf.WriteUint32(uint32(len(m.Payload)))
+	buf.WriteBytes(m.Payload)
+}
+
+// RpcResponse answers an RpcRequest.
+type RpcResponse struct {
+	ReqID   int64
+	Payload []byte
+}
+
+// Type implements Message.
+func (m *RpcResponse) Type() MsgType { return TypeRpcResponse }
+
+// WireSize implements Message.
+func (m *RpcResponse) WireSize() int { return 1 + 8 + len(m.Payload) }
+
+// Encode implements Message.
+func (m *RpcResponse) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeRpcResponse))
+	buf.WriteInt64(m.ReqID)
+	buf.WriteUint32(uint32(len(m.Payload)))
+	buf.WriteBytes(m.Payload)
+}
+
+// RpcFailure reports an RPC error back to the caller.
+type RpcFailure struct {
+	ReqID int64
+	Error string
+}
+
+// Type implements Message.
+func (m *RpcFailure) Type() MsgType { return TypeRpcFailure }
+
+// WireSize implements Message.
+func (m *RpcFailure) WireSize() int { return 1 + 8 + len(m.Error) }
+
+// Encode implements Message.
+func (m *RpcFailure) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeRpcFailure))
+	buf.WriteInt64(m.ReqID)
+	buf.WriteString(m.Error)
+}
+
+// OneWayMessage is a fire-and-forget RPC.
+type OneWayMessage struct {
+	Endpoint string
+	From     string
+	Payload  []byte
+}
+
+// Type implements Message.
+func (m *OneWayMessage) Type() MsgType { return TypeOneWayMessage }
+
+// WireSize implements Message.
+func (m *OneWayMessage) WireSize() int { return 1 + 8 + len(m.Endpoint) + len(m.From) + len(m.Payload) }
+
+// Encode implements Message.
+func (m *OneWayMessage) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeOneWayMessage))
+	buf.WriteString(m.Endpoint)
+	buf.WriteString(m.From)
+	buf.WriteUint32(uint32(len(m.Payload)))
+	buf.WriteBytes(m.Payload)
+}
+
+// ChunkFetchRequest asks for one chunk of a stream; Spark identifies it by
+// StreamChunkId. Here the stream id is the block id and FetchID correlates
+// the response.
+type ChunkFetchRequest struct {
+	FetchID int64
+	BlockID string
+}
+
+// Type implements Message.
+func (m *ChunkFetchRequest) Type() MsgType { return TypeChunkFetchRequest }
+
+// WireSize implements Message.
+func (m *ChunkFetchRequest) WireSize() int { return 1 + 8 + 4 + len(m.BlockID) }
+
+// Encode implements Message.
+func (m *ChunkFetchRequest) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeChunkFetchRequest))
+	buf.WriteInt64(m.FetchID)
+	buf.WriteString(m.BlockID)
+}
+
+// ChunkFetchSuccess returns a fetched chunk. It is a MessageWithHeader in
+// Spark: a small header (type, ids, body size) and a large body. The
+// MPI4Spark-Optimized design ships exactly this body over MPI while the
+// header stays on the socket; BodyViaMPI marks that encoding, and BodyTag
+// carries the MPI tag the receiver must use for the matching MPI_Recv.
+type ChunkFetchSuccess struct {
+	FetchID    int64
+	BlockID    string
+	Body       []byte
+	BodyViaMPI bool
+	BodySize   int
+	BodyTag    int
+}
+
+// Type implements Message.
+func (m *ChunkFetchSuccess) Type() MsgType { return TypeChunkFetchSuccess }
+
+// WireSize implements Message.
+func (m *ChunkFetchSuccess) WireSize() int {
+	if m.BodyViaMPI {
+		return 1 + 8 + 4 + len(m.BlockID) + 1 + 8 + 8
+	}
+	return 1 + 8 + 4 + len(m.BlockID) + 1 + 8 + len(m.Body)
+}
+
+// Encode implements Message.
+func (m *ChunkFetchSuccess) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeChunkFetchSuccess))
+	buf.WriteInt64(m.FetchID)
+	buf.WriteString(m.BlockID)
+	if m.BodyViaMPI {
+		buf.WriteByte(1)
+		buf.WriteUint64(uint64(m.BodySize))
+		buf.WriteInt64(int64(m.BodyTag))
+	} else {
+		buf.WriteByte(0)
+		buf.WriteUint64(uint64(len(m.Body)))
+		buf.WriteBytes(m.Body)
+	}
+}
+
+// StreamRequest opens a stream (jar/file distribution in Spark).
+type StreamRequest struct {
+	StreamID string
+}
+
+// Type implements Message.
+func (m *StreamRequest) Type() MsgType { return TypeStreamRequest }
+
+// WireSize implements Message.
+func (m *StreamRequest) WireSize() int { return 1 + 4 + len(m.StreamID) }
+
+// Encode implements Message.
+func (m *StreamRequest) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeStreamRequest))
+	buf.WriteString(m.StreamID)
+}
+
+// StreamResponse carries stream data; like ChunkFetchSuccess its body may
+// travel over MPI in the optimized design.
+type StreamResponse struct {
+	StreamID   string
+	Body       []byte
+	BodyViaMPI bool
+	BodySize   int
+	BodyTag    int
+}
+
+// Type implements Message.
+func (m *StreamResponse) Type() MsgType { return TypeStreamResponse }
+
+// WireSize implements Message.
+func (m *StreamResponse) WireSize() int {
+	if m.BodyViaMPI {
+		return 1 + 4 + len(m.StreamID) + 1 + 8 + 8
+	}
+	return 1 + 4 + len(m.StreamID) + 1 + 8 + len(m.Body)
+}
+
+// Encode implements Message.
+func (m *StreamResponse) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeStreamResponse))
+	buf.WriteString(m.StreamID)
+	if m.BodyViaMPI {
+		buf.WriteByte(1)
+		buf.WriteUint64(uint64(m.BodySize))
+		buf.WriteInt64(int64(m.BodyTag))
+	} else {
+		buf.WriteByte(0)
+		buf.WriteUint64(uint64(len(m.Body)))
+		buf.WriteBytes(m.Body)
+	}
+}
+
+// Decode parses one message from buf (which must hold exactly one frame
+// body, tag first).
+func Decode(buf *bytebuf.Buf) (Message, error) {
+	tb, err := buf.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("rpc: empty frame: %w", err)
+	}
+	switch MsgType(tb) {
+	case TypeRpcRequest:
+		m := &RpcRequest{}
+		if m.ReqID, err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+		if m.Endpoint, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		if m.From, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		n, err := buf.ReadUint32()
+		if err != nil {
+			return nil, err
+		}
+		if m.Payload, err = buf.ReadBytes(int(n)); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeRpcResponse:
+		m := &RpcResponse{}
+		if m.ReqID, err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+		n, err := buf.ReadUint32()
+		if err != nil {
+			return nil, err
+		}
+		if m.Payload, err = buf.ReadBytes(int(n)); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeRpcFailure:
+		m := &RpcFailure{}
+		if m.ReqID, err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+		if m.Error, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeOneWayMessage:
+		m := &OneWayMessage{}
+		if m.Endpoint, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		if m.From, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		n, err := buf.ReadUint32()
+		if err != nil {
+			return nil, err
+		}
+		if m.Payload, err = buf.ReadBytes(int(n)); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeChunkFetchRequest:
+		m := &ChunkFetchRequest{}
+		if m.FetchID, err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+		if m.BlockID, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeChunkFetchSuccess:
+		m := &ChunkFetchSuccess{}
+		if m.FetchID, err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+		if m.BlockID, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		return m, decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag)
+	case TypeStreamRequest:
+		m := &StreamRequest{}
+		if m.StreamID, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeStreamResponse:
+		m := &StreamResponse{}
+		if m.StreamID, err = buf.ReadString(); err != nil {
+			return nil, err
+		}
+		return m, decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag)
+	default:
+		return nil, fmt.Errorf("rpc: unknown message type %d", tb)
+	}
+}
+
+func decodeBody(buf *bytebuf.Buf, body *[]byte, viaMPI *bool, size *int, tag *int) error {
+	flag, err := buf.ReadByte()
+	if err != nil {
+		return err
+	}
+	n, err := buf.ReadUint64()
+	if err != nil {
+		return err
+	}
+	if flag == 1 {
+		*viaMPI = true
+		*size = int(n)
+		t, err := buf.ReadInt64()
+		if err != nil {
+			return err
+		}
+		*tag = int(t)
+		return nil
+	}
+	*size = int(n)
+	*body, err = buf.ReadBytes(int(n))
+	return err
+}
+
+// EncodeToBuf encodes m into a fresh buffer.
+func EncodeToBuf(m Message) *bytebuf.Buf {
+	buf := bytebuf.New(m.WireSize())
+	m.Encode(buf)
+	return buf
+}

@@ -1,0 +1,339 @@
+package spark
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mpi4spark/internal/spark/shuffle"
+	"mpi4spark/internal/vtime"
+)
+
+// debugTiming enables temporary completion-timing prints.
+var debugTiming = false
+
+// findShuffleDeps walks the lineage of final and returns every shuffle
+// dependency in topological order (parents before children), deduplicated.
+func findShuffleDeps(final rddBase) []*ShuffleDep {
+	var order []*ShuffleDep
+	seenRDD := make(map[int]bool)
+	seenDep := make(map[int]bool)
+	var visit func(r rddBase)
+	visit = func(r rddBase) {
+		if seenRDD[r.rddID()] {
+			return
+		}
+		seenRDD[r.rddID()] = true
+		for _, d := range r.dependencies() {
+			switch dep := d.(type) {
+			case narrowDep:
+				visit(dep.parent)
+			case *ShuffleDep:
+				visit(dep.parent)
+				if !seenDep[dep.shuffleID] {
+					seenDep[dep.shuffleID] = true
+					order = append(order, dep)
+				}
+			}
+		}
+	}
+	visit(final)
+	return order
+}
+
+// preferredExecutor walks narrow dependencies looking for a cached ancestor
+// partition and returns the executor holding it ("" if none).
+func (c *Context) preferredExecutor(r rddBase, part int) string {
+	for {
+		if r.isCached() {
+			c.mu.Lock()
+			exec, ok := c.cacheLocs[cacheKey{rddID: r.rddID(), part: part}]
+			c.mu.Unlock()
+			if ok {
+				return exec
+			}
+		}
+		deps := r.dependencies()
+		if len(deps) != 1 {
+			return ""
+		}
+		nd, ok := deps[0].(narrowDep)
+		if !ok {
+			return ""
+		}
+		r = nd.parent
+	}
+}
+
+// runJob executes the DAG rooted at final: all not-yet-materialized
+// shuffle map stages in topological order, then the result stage, calling
+// collect with each result partition.
+func (c *Context) runJob(final rddBase, resultSize func(any) int, collect func(part int, res any)) error {
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+
+	c.mu.Lock()
+	jobID := c.jobSeq
+	c.jobSeq++
+	c.mu.Unlock()
+
+	for _, dep := range findShuffleDeps(final) {
+		c.mu.Lock()
+		done := c.doneShuffles[dep.shuffleID]
+		c.mu.Unlock()
+		if done {
+			continue
+		}
+		if err := c.runShuffleMapStage(jobID, dep); err != nil {
+			return err
+		}
+	}
+	return c.runResultStage(jobID, final, resultSize, collect)
+}
+
+// runShuffleMapStage executes the map side of one shuffle.
+func (c *Context) runShuffleMapStage(jobID int, dep *ShuffleDep) error {
+	numMaps := dep.parent.partitions()
+	c.tracker.RegisterShuffle(dep.shuffleID, numMaps)
+
+	c.mu.Lock()
+	c.stageSeq++
+	stage := &stageInfo{
+		id:    c.stageSeq,
+		jobID: jobID,
+		name:  fmt.Sprintf("Job%d-ShuffleMapStage", jobID),
+		kind:  "ShuffleMapStage",
+	}
+	c.mu.Unlock()
+
+	tasks := make([]*taskDescriptor, numMaps)
+	for part := 0; part < numMaps; part++ {
+		p := part
+		tasks[part] = &taskDescriptor{
+			stage:      stage,
+			part:       p,
+			preferred:  c.preferredExecutor(dep.parent, p),
+			resultSize: func(any) int { return 16 + 8*dep.numReduce }, // MapStatus sizes
+			run: func(tc *TaskContext) (any, *shuffle.MapStatus, error) {
+				data, err := dep.parent.computePartition(p, tc)
+				if err != nil {
+					return nil, nil, err
+				}
+				parts := dep.write(data, tc)
+				st := tc.exec.sm.WriteMapOutput(dep.shuffleID, p, parts, tc.exec.loc)
+				return nil, st, nil
+			},
+		}
+	}
+	comps, err := c.launchAndWait(stage, tasks)
+	if err != nil {
+		return err
+	}
+	for _, comp := range comps {
+		if comp.mapStatus == nil {
+			return fmt.Errorf("spark: map task %d returned no status", comp.taskID)
+		}
+		if err := c.tracker.RegisterMapOutput(dep.shuffleID, comp.part, comp.mapStatus); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.doneShuffles[dep.shuffleID] = true
+	c.mu.Unlock()
+	return nil
+}
+
+// runResultStage executes the final stage of a job.
+func (c *Context) runResultStage(jobID int, final rddBase, resultSize func(any) int, collect func(part int, res any)) error {
+	c.mu.Lock()
+	c.stageSeq++
+	stage := &stageInfo{
+		id:    c.stageSeq,
+		jobID: jobID,
+		name:  fmt.Sprintf("Job%d-ResultStage", jobID),
+		kind:  "ResultStage",
+	}
+	c.mu.Unlock()
+
+	tasks := make([]*taskDescriptor, final.partitions())
+	for part := 0; part < final.partitions(); part++ {
+		p := part
+		tasks[part] = &taskDescriptor{
+			stage:      stage,
+			part:       p,
+			preferred:  c.preferredExecutor(final, p),
+			resultSize: resultSize,
+			run: func(tc *TaskContext) (any, *shuffle.MapStatus, error) {
+				data, err := final.computePartition(p, tc)
+				return data, nil, err
+			},
+		}
+	}
+	comps, err := c.launchAndWait(stage, tasks)
+	if err != nil {
+		return err
+	}
+	for _, comp := range comps {
+		collect(comp.part, comp.result)
+	}
+	return nil
+}
+
+// placeTask picks the executor for a task: its cache-locality preference
+// when available, round-robin otherwise. Executors in `exclude` (previous
+// failed attempts of this task) and executors marked unhealthy are skipped
+// when any alternative exists.
+func (c *Context) placeTask(t *taskDescriptor, exclude map[string]bool) *Executor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	usable := func(e *Executor) bool {
+		return !exclude[e.id] && !c.unhealthy[e.id]
+	}
+	if t.preferred != "" && !exclude[t.preferred] && !c.unhealthy[t.preferred] {
+		for _, e := range c.executors {
+			if e.id == t.preferred {
+				return e
+			}
+		}
+	}
+	for tries := 0; tries < len(c.executors); tries++ {
+		e := c.executors[c.rrNext%len(c.executors)]
+		c.rrNext++
+		if usable(e) {
+			return e
+		}
+	}
+	// Everything excluded: fall back to plain round robin.
+	e := c.executors[c.rrNext%len(c.executors)]
+	c.rrNext++
+	return e
+}
+
+// markUnhealthy blacklists an executor after a failed launch.
+func (c *Context) markUnhealthy(execID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.unhealthy[execID] = true
+}
+
+// launchAndWait sends LaunchTask messages for every task, waits for all
+// status updates, records the stage timing, and returns the completions.
+// Launch messages serialize on the driver CPU, and completions serialize
+// through the driver's scheduler endpoint — both real effects at scale.
+func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*completion, error) {
+	c.mu.Lock()
+	start := c.clock
+	sendVT := c.clock
+	waitChans := make([]chan *completion, len(tasks))
+	for i, t := range tasks {
+		c.taskSeq++
+		t.id = c.taskSeq
+		c.tasks[t.id] = t
+		waitChans[i] = make(chan *completion, 1)
+		c.waiters[t.id] = waitChans[i]
+	}
+	c.mu.Unlock()
+
+	// launch sends one task's LaunchTask message, skipping unreachable
+	// executors (which get blacklisted) up to the cluster size.
+	launch := func(t *taskDescriptor, exclude map[string]bool, at vtime.Stamp) (vtime.Stamp, error) {
+		payload := make([]byte, c.cfg.TaskClosureBytes)
+		binary.BigEndian.PutUint64(payload[:8], uint64(t.id))
+		var lastErr error
+		for tries := 0; tries <= len(c.executors); tries++ {
+			exec := c.placeTask(t, exclude)
+			free, err := c.driver.Send(exec.env.Addr(), ExecutorEndpoint, payload, at)
+			if err == nil {
+				return free, nil
+			}
+			lastErr = err
+			c.markUnhealthy(exec.id)
+		}
+		return at, fmt.Errorf("spark: launching task %d: %w", t.id, lastErr)
+	}
+
+	exclusions := make([]map[string]bool, len(tasks))
+	for i, t := range tasks {
+		exclusions[i] = make(map[string]bool)
+		free, err := launch(t, exclusions[i], sendVT)
+		if err != nil {
+			return nil, err
+		}
+		sendVT = free
+	}
+
+	comps := make([]*completion, 0, len(tasks))
+	end := sendVT
+	var firstErr error
+	attempts := make([]int, len(tasks))
+	for i := range tasks {
+		for {
+			comp := <-waitChans[i]
+			if debugTiming {
+				fmt.Printf("DBG task=%d exec=%s execVT=%v driverVT=%v\n", comp.taskID, comp.execID, comp.execVT, comp.driverVT)
+			}
+			if comp.err != nil && attempts[i] < c.cfg.MaxTaskAttempts-1 {
+				// Retry on a different executor, like Spark's
+				// spark.task.maxFailures. The retry relaunches at the
+				// failure's driver-side time.
+				attempts[i]++
+				exclusions[i][comp.execID] = true
+				t := tasks[i]
+				ch := make(chan *completion, 1)
+				c.mu.Lock()
+				c.tasks[t.id] = t
+				c.waiters[t.id] = ch
+				c.mu.Unlock()
+				waitChans[i] = ch
+				if _, err := launch(t, exclusions[i], comp.driverVT); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					break
+				}
+				continue
+			}
+			if comp.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("spark: task %d (partition %d) failed after %d attempts: %w",
+					comp.taskID, comp.part, attempts[i]+1, comp.err)
+			}
+			if comp.driverVT > end {
+				end = comp.driverVT
+			}
+			comps = append(comps, comp)
+			break
+		}
+	}
+
+	// Cleanup task table and record cache locations + metrics.
+	timing := StageTiming{
+		JobID: stage.jobID,
+		Name:  stage.name,
+		Kind:  stage.kind,
+		Start: start,
+		End:   end,
+		Tasks: len(tasks),
+	}
+	c.mu.Lock()
+	for _, t := range tasks {
+		delete(c.tasks, t.id)
+	}
+	for _, comp := range comps {
+		for _, ck := range comp.cached {
+			c.cacheLocs[ck] = comp.execID
+		}
+		timing.Records += comp.metrics.Records
+		timing.ShuffleBytes += comp.metrics.ShuffleBytes
+		if comp.metrics.ShuffleWaitVT > timing.ShuffleWaitMax {
+			timing.ShuffleWaitMax = comp.metrics.ShuffleWaitVT
+		}
+	}
+	if firstErr == nil {
+		c.stages = append(c.stages, timing)
+	}
+	c.clock = vtime.Max(c.clock, end)
+	c.mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return comps, nil
+}

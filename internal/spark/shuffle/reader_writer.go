@@ -1,0 +1,131 @@
+package shuffle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpi4spark/internal/spark/storage"
+	"mpi4spark/internal/vtime"
+)
+
+// Manager is the executor-side sort-shuffle manager: it writes map outputs
+// as per-reduce-partition blocks into the local block manager and reads
+// reduce inputs through the fetcher.
+type Manager struct {
+	bm *storage.BlockManager
+	// LocalReadCost is the modeled cost of reading one local block (RAM
+	// disk read in the paper's configuration).
+	LocalReadCost time.Duration
+	// LocalReadNsPerByte is the modeled per-byte local read cost.
+	LocalReadNsPerByte float64
+}
+
+// NewManager creates a shuffle manager over the executor's block manager.
+func NewManager(bm *storage.BlockManager) *Manager {
+	return &Manager{
+		bm:                 bm,
+		LocalReadCost:      2 * time.Microsecond,
+		LocalReadNsPerByte: 0.15,
+	}
+}
+
+// WriteMapOutput stores the partitioned, serialized output of one map task
+// (parts[r] is the block destined for reducer r) and returns the MapStatus
+// to register with the driver. loc identifies the owning executor.
+func (m *Manager) WriteMapOutput(shuffleID, mapID int, parts [][]byte, loc Location) *MapStatus {
+	sizes := make([]int64, len(parts))
+	for r, p := range parts {
+		m.bm.Put(storage.ShuffleBlockID(shuffleID, mapID, r), p)
+		sizes[r] = int64(len(p))
+	}
+	return &MapStatus{Loc: loc, Sizes: sizes}
+}
+
+// FetchResult is one fetched shuffle block.
+type FetchResult struct {
+	MapID int
+	Data  []byte
+}
+
+// maxInFlight bounds concurrent remote fetches per reduce task, like
+// spark.reducer.maxReqsInFlight bounds outstanding requests.
+const maxInFlight = 16
+
+// FetchShuffleParts retrieves every map output destined for reduceID:
+// local blocks straight from the block manager, remote blocks through bts.
+// selfID is the calling executor. It returns the blocks (indexed by map id)
+// and the virtual time at which the last block is available — the shuffle
+// read time that dominates the paper's Job1-ResultStage.
+func (m *Manager) FetchShuffleParts(
+	shuffleID, reduceID int,
+	statuses []*MapStatus,
+	selfID string,
+	bts BlockTransferService,
+	at vtime.Stamp,
+) ([]FetchResult, vtime.Stamp, error) {
+	results := make([]FetchResult, len(statuses))
+	maxVT := at
+
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+
+	observe := func(vt vtime.Stamp) {
+		mu.Lock()
+		if vt > maxVT {
+			maxVT = vt
+		}
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	for mapID, st := range statuses {
+		if st == nil {
+			return nil, at, fmt.Errorf("shuffle %d: missing map output %d", shuffleID, mapID)
+		}
+		if st.Sizes[reduceID] == 0 {
+			results[mapID] = FetchResult{MapID: mapID, Data: nil}
+			continue
+		}
+		blockID := storage.ShuffleBlockID(shuffleID, mapID, reduceID)
+		if st.Loc.ExecID == selfID {
+			// Local block: no network, only the local read cost.
+			data, ok := m.bm.Get(blockID)
+			if !ok {
+				return nil, at, fmt.Errorf("shuffle: local block %s missing", blockID)
+			}
+			cost := m.LocalReadCost + time.Duration(m.LocalReadNsPerByte*float64(len(data)))
+			observe(at.Add(cost))
+			results[mapID] = FetchResult{MapID: mapID, Data: data}
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(mapID int, st *MapStatus) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			data, vt, err := bts.Fetch(st.Loc, blockID, at)
+			if err != nil {
+				fail(fmt.Errorf("shuffle: fetch %s from %s: %w", blockID, st.Loc.ExecID, err))
+				return
+			}
+			observe(vt)
+			mu.Lock()
+			results[mapID] = FetchResult{MapID: mapID, Data: data}
+			mu.Unlock()
+		}(mapID, st)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, at, firstErr
+	}
+	return results, maxVT, nil
+}

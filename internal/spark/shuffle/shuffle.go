@@ -1,0 +1,222 @@
+// Package shuffle implements Spark's shuffle machinery: the sort-based
+// shuffle manager's block layout, the map-output tracker, the
+// ShuffleBlockFetcherIterator's local/remote fetch logic, and the
+// BlockTransferService abstraction with its three implementations —
+// Netty-based (Vanilla Spark and, via transport substitution, MPI4Spark)
+// and UCR-based (RDMA-Spark).
+package shuffle
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/vtime"
+)
+
+// Location identifies where a block lives: an executor and its transfer
+// service address.
+type Location struct {
+	ExecID string
+	Addr   fabric.Addr
+}
+
+// MapStatus records one completed map task's output: where it is and the
+// per-reduce-partition block sizes.
+type MapStatus struct {
+	Loc   Location
+	Sizes []int64
+}
+
+// Encode serializes the status.
+func (m *MapStatus) Encode(buf *bytebuf.Buf) {
+	buf.WriteString(m.Loc.ExecID)
+	buf.WriteString(m.Loc.Addr.Node)
+	buf.WriteString(m.Loc.Addr.Port)
+	buf.WriteUint32(uint32(len(m.Sizes)))
+	for _, s := range m.Sizes {
+		buf.WriteInt64(s)
+	}
+}
+
+// DecodeMapStatus parses one status.
+func DecodeMapStatus(buf *bytebuf.Buf) (*MapStatus, error) {
+	var m MapStatus
+	var err error
+	if m.Loc.ExecID, err = buf.ReadString(); err != nil {
+		return nil, err
+	}
+	if m.Loc.Addr.Node, err = buf.ReadString(); err != nil {
+		return nil, err
+	}
+	if m.Loc.Addr.Port, err = buf.ReadString(); err != nil {
+		return nil, err
+	}
+	n, err := buf.ReadUint32()
+	if err != nil {
+		return nil, err
+	}
+	m.Sizes = make([]int64, n)
+	for i := range m.Sizes {
+		if m.Sizes[i], err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+	}
+	return &m, nil
+}
+
+// MapOutputTracker is the driver-side registry of shuffle map outputs.
+type MapOutputTracker struct {
+	mu       sync.RWMutex
+	statuses map[int][]*MapStatus // shuffleID -> status per mapID
+}
+
+// NewMapOutputTracker creates an empty tracker.
+func NewMapOutputTracker() *MapOutputTracker {
+	return &MapOutputTracker{statuses: make(map[int][]*MapStatus)}
+}
+
+// RegisterShuffle reserves slots for a shuffle's map outputs.
+func (t *MapOutputTracker) RegisterShuffle(shuffleID, numMaps int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.statuses[shuffleID] = make([]*MapStatus, numMaps)
+}
+
+// RegisterMapOutput records the status of one completed map task.
+func (t *MapOutputTracker) RegisterMapOutput(shuffleID, mapID int, st *MapStatus) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ss, ok := t.statuses[shuffleID]
+	if !ok {
+		return fmt.Errorf("shuffle: unregistered shuffle %d", shuffleID)
+	}
+	if mapID < 0 || mapID >= len(ss) {
+		return fmt.Errorf("shuffle: map id %d out of range (%d maps)", mapID, len(ss))
+	}
+	ss[mapID] = st
+	return nil
+}
+
+// Outputs returns the statuses for a shuffle; incomplete outputs are nil.
+func (t *MapOutputTracker) Outputs(shuffleID int) ([]*MapStatus, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ss, ok := t.statuses[shuffleID]
+	if !ok {
+		return nil, fmt.Errorf("shuffle: unregistered shuffle %d", shuffleID)
+	}
+	return append([]*MapStatus(nil), ss...), nil
+}
+
+// UnregisterShuffle drops a shuffle's metadata.
+func (t *MapOutputTracker) UnregisterShuffle(shuffleID int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.statuses, shuffleID)
+}
+
+// SerializeOutputs encodes all statuses of a shuffle for the tracker RPC.
+func (t *MapOutputTracker) SerializeOutputs(shuffleID int) ([]byte, error) {
+	ss, err := t.Outputs(shuffleID)
+	if err != nil {
+		return nil, err
+	}
+	buf := bytebuf.New(64 * len(ss))
+	buf.WriteUint32(uint32(len(ss)))
+	for _, s := range ss {
+		if s == nil {
+			return nil, fmt.Errorf("shuffle: shuffle %d has missing map outputs", shuffleID)
+		}
+		s.Encode(buf)
+	}
+	return buf.Bytes(), nil
+}
+
+// DeserializeOutputs decodes a tracker RPC payload.
+func DeserializeOutputs(data []byte) ([]*MapStatus, error) {
+	buf := bytebuf.Wrap(data)
+	n, err := buf.ReadUint32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*MapStatus, n)
+	for i := range out {
+		if out[i], err = DecodeMapStatus(buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TrackerEndpoint is the name of the driver endpoint serving map-output
+// queries.
+const TrackerEndpoint = "MapOutputTracker"
+
+// ServeTracker registers the tracker RPC endpoint on the driver's env.
+// Requests carry the decimal shuffle id; responses carry the serialized
+// statuses.
+func ServeTracker(env *rpc.Env, t *MapOutputTracker) error {
+	return env.RegisterEndpoint(TrackerEndpoint, func(c *rpc.Call) {
+		var shuffleID int
+		if _, err := fmt.Sscanf(string(c.Payload), "%d", &shuffleID); err != nil {
+			c.Reply(nil, c.VT)
+			return
+		}
+		data, err := t.SerializeOutputs(shuffleID)
+		if err != nil {
+			c.Reply(nil, c.VT)
+			return
+		}
+		c.Reply(data, c.VT)
+	})
+}
+
+// TrackerClient is the executor-side view of the tracker, with a cache.
+type TrackerClient struct {
+	env    *rpc.Env
+	driver fabric.Addr
+
+	mu    sync.Mutex
+	cache map[int][]*MapStatus
+}
+
+// NewTrackerClient builds a client that queries the driver's tracker.
+func NewTrackerClient(env *rpc.Env, driver fabric.Addr) *TrackerClient {
+	return &TrackerClient{env: env, driver: driver, cache: make(map[int][]*MapStatus)}
+}
+
+// GetOutputs returns a shuffle's map statuses, fetching from the driver on
+// a cache miss.
+func (c *TrackerClient) GetOutputs(shuffleID int, at vtime.Stamp) ([]*MapStatus, vtime.Stamp, error) {
+	c.mu.Lock()
+	if ss, ok := c.cache[shuffleID]; ok {
+		c.mu.Unlock()
+		return ss, at, nil
+	}
+	c.mu.Unlock()
+	data, vt, err := c.env.Ask(c.driver, TrackerEndpoint, []byte(fmt.Sprint(shuffleID)), at)
+	if err != nil {
+		return nil, at, err
+	}
+	if data == nil {
+		return nil, vt, fmt.Errorf("shuffle: tracker has no outputs for shuffle %d", shuffleID)
+	}
+	ss, err := DeserializeOutputs(data)
+	if err != nil {
+		return nil, vt, err
+	}
+	c.mu.Lock()
+	c.cache[shuffleID] = ss
+	c.mu.Unlock()
+	return ss, vt, nil
+}
+
+// Invalidate drops a cached shuffle (used when a stage is retried).
+func (c *TrackerClient) Invalidate(shuffleID int) {
+	c.mu.Lock()
+	delete(c.cache, shuffleID)
+	c.mu.Unlock()
+}

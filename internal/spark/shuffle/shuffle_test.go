@@ -1,0 +1,242 @@
+package shuffle
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/rdma"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/storage"
+	"mpi4spark/internal/ucr"
+)
+
+func TestMapStatusRoundTrip(t *testing.T) {
+	st := &MapStatus{
+		Loc:   Location{ExecID: "exec-2", Addr: fabric.Addr{Node: "n3", Port: "bts"}},
+		Sizes: []int64{0, 100, 2048, 7},
+	}
+	data, err := func() ([]byte, error) {
+		tr := NewMapOutputTracker()
+		tr.RegisterShuffle(5, 1)
+		if err := tr.RegisterMapOutput(5, 0, st); err != nil {
+			return nil, err
+		}
+		return tr.SerializeOutputs(5)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DeserializeOutputs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("len = %d", len(out))
+	}
+	got := out[0]
+	if got.Loc != st.Loc || len(got.Sizes) != 4 || got.Sizes[2] != 2048 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestTrackerErrors(t *testing.T) {
+	tr := NewMapOutputTracker()
+	if err := tr.RegisterMapOutput(9, 0, &MapStatus{}); err == nil {
+		t.Fatal("register on unknown shuffle succeeded")
+	}
+	tr.RegisterShuffle(9, 2)
+	if err := tr.RegisterMapOutput(9, 5, &MapStatus{}); err == nil {
+		t.Fatal("out-of-range map id succeeded")
+	}
+	if _, err := tr.SerializeOutputs(9); err == nil {
+		t.Fatal("serializing incomplete shuffle succeeded")
+	}
+	if _, err := tr.Outputs(404); err == nil {
+		t.Fatal("outputs of unknown shuffle succeeded")
+	}
+	tr.UnregisterShuffle(9)
+	if _, err := tr.Outputs(9); err == nil {
+		t.Fatal("outputs after unregister succeeded")
+	}
+}
+
+func TestTrackerRPC(t *testing.T) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	nd, ne := f.AddNode("driver"), f.AddNode("exec")
+	driverEnv, err := rpc.NewEnv("driver", nd, "rpc", rpc.DefaultEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driverEnv.Shutdown()
+	execEnv, err := rpc.NewEnv("exec", ne, "rpc", rpc.DefaultEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer execEnv.Shutdown()
+
+	tr := NewMapOutputTracker()
+	tr.RegisterShuffle(1, 2)
+	for m := 0; m < 2; m++ {
+		st := &MapStatus{Loc: Location{ExecID: fmt.Sprintf("e%d", m)}, Sizes: []int64{int64(m), 10}}
+		if err := tr.RegisterMapOutput(1, m, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ServeTracker(driverEnv, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewTrackerClient(execEnv, driverEnv.Addr())
+	ss, vt, err := client.GetOutputs(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 2 || ss[1].Sizes[0] != 1 {
+		t.Fatalf("statuses = %+v", ss)
+	}
+	if vt <= 0 {
+		t.Fatal("tracker RPC was free")
+	}
+	// Cached second query costs nothing extra.
+	_, vt2, err := client.GetOutputs(1, vt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt2 != vt {
+		t.Fatalf("cached query advanced time: %v -> %v", vt, vt2)
+	}
+	client.Invalidate(1)
+	if _, _, err := client.GetOutputs(1, vt); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown shuffle surfaces as an error.
+	if _, _, err := client.GetOutputs(42, 0); err == nil {
+		t.Fatal("unknown shuffle query succeeded")
+	}
+}
+
+func TestWriteMapOutput(t *testing.T) {
+	bm := storage.NewBlockManager("exec-0")
+	m := NewManager(bm)
+	loc := Location{ExecID: "exec-0"}
+	st := m.WriteMapOutput(3, 1, [][]byte{[]byte("aa"), nil, []byte("cccc")}, loc)
+	if st.Sizes[0] != 2 || st.Sizes[1] != 0 || st.Sizes[2] != 4 {
+		t.Fatalf("sizes = %v", st.Sizes)
+	}
+	d, ok := bm.Get(storage.ShuffleBlockID(3, 1, 2))
+	if !ok || string(d) != "cccc" {
+		t.Fatalf("block = %q, %v", d, ok)
+	}
+}
+
+// fetchEnv builds two executors with populated shuffle blocks and returns
+// a fetch through the given BTS constructor.
+func runFetchTest(t *testing.T, useUCR bool) {
+	f := fabric.New(fabric.NewIBHDRModel())
+	n0, n1, nd := f.AddNode("w0"), f.AddNode("w1"), f.AddNode("drv")
+	_ = nd
+
+	bm0 := storage.NewBlockManager("exec-0")
+	bm1 := storage.NewBlockManager("exec-1")
+	mgr0 := NewManager(bm0)
+	mgr1 := NewManager(bm1)
+
+	env0, err := rpc.NewEnv("exec-0", n0, "rpc", rpc.DefaultEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env0.Shutdown()
+	env1, err := rpc.NewEnv("exec-1", n1, "rpc", rpc.DefaultEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env1.Shutdown()
+	env0.RegisterChunkResolver(func(id string) ([]byte, bool) { return bm0.Get(storage.BlockID(id)) })
+	env1.RegisterChunkResolver(func(id string) ([]byte, bool) { return bm1.Get(storage.BlockID(id)) })
+
+	loc0 := Location{ExecID: "exec-0", Addr: env0.Addr()}
+	loc1 := Location{ExecID: "exec-1", Addr: env1.Addr()}
+
+	// Two map tasks, 2 reduce partitions. Map 0 ran on exec-0, map 1 on exec-1.
+	block := func(m, r int) []byte {
+		return bytes.Repeat([]byte{byte(10*m + r)}, 1000)
+	}
+	st0 := mgr0.WriteMapOutput(0, 0, [][]byte{block(0, 0), block(0, 1)}, loc0)
+	st1 := mgr1.WriteMapOutput(0, 1, [][]byte{block(1, 0), block(1, 1)}, loc1)
+	statuses := []*MapStatus{st0, st1}
+
+	var bts BlockTransferService
+	if useUCR {
+		srv1 := ucr.NewServer(rdma.OpenDevice(n1), func(id string) ([]byte, bool) {
+			return bm1.Get(storage.BlockID(id))
+		}, ucr.DefaultConfig())
+		defer srv1.Close()
+		reg := ucrRegistry{"exec-1": srv1}
+		bts = NewUCRBTS(rdma.OpenDevice(n0), reg)
+		defer bts.Close()
+	} else {
+		bts = NewNettyBTS(env0)
+	}
+
+	// exec-0 reduces partition 1: one local block, one remote.
+	results, vt, err := mgr0.FetchShuffleParts(0, 1, statuses, "exec-0", bts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !bytes.Equal(results[0].Data, block(0, 1)) {
+		t.Error("local block wrong")
+	}
+	if !bytes.Equal(results[1].Data, block(1, 1)) {
+		t.Error("remote block wrong")
+	}
+	if vt <= 0 {
+		t.Error("fetch was free")
+	}
+}
+
+type ucrRegistry map[string]*ucr.Server
+
+func (r ucrRegistry) UCRServer(execID string) (*ucr.Server, bool) {
+	s, ok := r[execID]
+	return s, ok
+}
+
+func TestFetchShufflePartsNetty(t *testing.T) { runFetchTest(t, false) }
+func TestFetchShufflePartsUCR(t *testing.T)   { runFetchTest(t, true) }
+
+func TestFetchMissingMapOutput(t *testing.T) {
+	bm := storage.NewBlockManager("e")
+	m := NewManager(bm)
+	_, _, err := m.FetchShuffleParts(0, 0, []*MapStatus{nil}, "e", nil, 0)
+	if err == nil {
+		t.Fatal("fetch with missing map output succeeded")
+	}
+}
+
+func TestFetchSkipsEmptyBlocks(t *testing.T) {
+	bm := storage.NewBlockManager("e")
+	m := NewManager(bm)
+	loc := Location{ExecID: "e"}
+	st := m.WriteMapOutput(0, 0, [][]byte{nil, []byte("x")}, loc)
+	results, _, err := m.FetchShuffleParts(0, 0, []*MapStatus{st}, "e", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Data != nil {
+		t.Fatal("empty block fetched")
+	}
+}
+
+func TestFetchLocalMissingBlock(t *testing.T) {
+	bm := storage.NewBlockManager("e")
+	m := NewManager(bm)
+	st := &MapStatus{Loc: Location{ExecID: "e"}, Sizes: []int64{5}}
+	if _, _, err := m.FetchShuffleParts(0, 0, []*MapStatus{st}, "e", nil, 0); err == nil {
+		t.Fatal("missing local block fetch succeeded")
+	}
+}

@@ -1,0 +1,102 @@
+package shuffle
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi4spark/internal/rdma"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/storage"
+	"mpi4spark/internal/ucr"
+	"mpi4spark/internal/vtime"
+)
+
+// BlockTransferService fetches remote blocks. Spark's vanilla
+// implementation rides on Netty; RDMA-Spark substitutes a UCR-based one.
+// MPI4Spark deliberately does NOT substitute this layer — it swaps the
+// transport underneath Netty, which is the paper's core design point.
+type BlockTransferService interface {
+	// Fetch retrieves blockID from the remote executor at loc.
+	Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([]byte, vtime.Stamp, error)
+	// Close releases connections.
+	Close()
+}
+
+// NettyBTS fetches blocks with ChunkFetchRequest/Success messages over the
+// executor's RPC environment — Spark's NettyBlockTransferService. Whether
+// those frames ride TCP or MPI is decided by the environment's transport.
+type NettyBTS struct {
+	env *rpc.Env
+}
+
+// NewNettyBTS wraps an RPC environment.
+func NewNettyBTS(env *rpc.Env) *NettyBTS { return &NettyBTS{env: env} }
+
+// Fetch implements BlockTransferService.
+func (b *NettyBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	return b.env.FetchChunk(loc.Addr, string(blockID), at)
+}
+
+// Close implements BlockTransferService (connections are owned by the env).
+func (b *NettyBTS) Close() {}
+
+// UCRServerRegistry resolves an executor id to its UCR block server —
+// in-process service discovery for the RDMA-Spark baseline.
+type UCRServerRegistry interface {
+	UCRServer(execID string) (*ucr.Server, bool)
+}
+
+// UCRBTS is RDMA-Spark's BlockTransferService: per-peer UCR connections
+// over verbs.
+type UCRBTS struct {
+	dev      *rdma.Device
+	registry UCRServerRegistry
+
+	mu      sync.Mutex
+	clients map[string]*ucr.Client
+}
+
+// NewUCRBTS creates the RDMA-Spark transfer service for the executor
+// owning dev.
+func NewUCRBTS(dev *rdma.Device, registry UCRServerRegistry) *UCRBTS {
+	return &UCRBTS{dev: dev, registry: registry, clients: make(map[string]*ucr.Client)}
+}
+
+// Fetch implements BlockTransferService.
+func (b *UCRBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	b.mu.Lock()
+	client, ok := b.clients[loc.ExecID]
+	b.mu.Unlock()
+	vt := at
+	if !ok {
+		srv, found := b.registry.UCRServer(loc.ExecID)
+		if !found {
+			return nil, at, fmt.Errorf("shuffle: no UCR server for executor %s", loc.ExecID)
+		}
+		var err error
+		client, vt, err = srv.Connect(b.dev, at)
+		if err != nil {
+			return nil, at, err
+		}
+		b.mu.Lock()
+		if existing, raced := b.clients[loc.ExecID]; raced {
+			b.mu.Unlock()
+			client.Close()
+			client = existing
+		} else {
+			b.clients[loc.ExecID] = client
+			b.mu.Unlock()
+		}
+	}
+	return client.FetchBlock(string(blockID), vt)
+}
+
+// Close implements BlockTransferService.
+func (b *UCRBTS) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, c := range b.clients {
+		c.Close()
+	}
+	b.clients = make(map[string]*ucr.Client)
+}

@@ -1,0 +1,120 @@
+// Package storage implements the executor-side block store: Spark's
+// BlockManager with an in-memory store (the paper's clusters back shuffle
+// files with a RAM disk, so memory-resident blocks match the evaluated
+// configuration) and the shuffle block naming scheme.
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockID names a stored block.
+type BlockID string
+
+// ShuffleBlockID names the map output of mapper mapID for reducer reduceID
+// in shuffle shuffleID, using Spark's "shuffle_<shuffle>_<map>_<reduce>"
+// convention.
+func ShuffleBlockID(shuffleID, mapID, reduceID int) BlockID {
+	return BlockID(fmt.Sprintf("shuffle_%d_%d_%d", shuffleID, mapID, reduceID))
+}
+
+// RDDBlockID names a cached partition of an RDD.
+func RDDBlockID(rddID, partition int) BlockID {
+	return BlockID(fmt.Sprintf("rdd_%d_%d", rddID, partition))
+}
+
+// BlockManager stores blocks for one executor.
+type BlockManager struct {
+	execID string
+
+	mu     sync.RWMutex
+	blocks map[BlockID][]byte
+	bytes  int64
+	puts   int64
+	gets   int64
+	hits   int64
+}
+
+// NewBlockManager creates an empty block manager owned by execID.
+func NewBlockManager(execID string) *BlockManager {
+	return &BlockManager{execID: execID, blocks: make(map[BlockID][]byte)}
+}
+
+// ExecutorID returns the owning executor's id.
+func (bm *BlockManager) ExecutorID() string { return bm.execID }
+
+// Put stores data under id, replacing any previous value.
+func (bm *BlockManager) Put(id BlockID, data []byte) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if old, ok := bm.blocks[id]; ok {
+		bm.bytes -= int64(len(old))
+	}
+	bm.blocks[id] = data
+	bm.bytes += int64(len(data))
+	bm.puts++
+}
+
+// Get returns the block's bytes; ok reports whether it exists. The slice
+// is shared — callers must not mutate it.
+func (bm *BlockManager) Get(id BlockID) ([]byte, bool) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	bm.gets++
+	d, ok := bm.blocks[id]
+	if ok {
+		bm.hits++
+	}
+	return d, ok
+}
+
+// Remove deletes a block, reporting whether it existed.
+func (bm *BlockManager) Remove(id BlockID) bool {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	d, ok := bm.blocks[id]
+	if ok {
+		bm.bytes -= int64(len(d))
+		delete(bm.blocks, id)
+	}
+	return ok
+}
+
+// RemoveShuffle deletes every block of the given shuffle, returning the
+// number removed.
+func (bm *BlockManager) RemoveShuffle(shuffleID int) int {
+	prefix := fmt.Sprintf("shuffle_%d_", shuffleID)
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	n := 0
+	for id, d := range bm.blocks {
+		if len(id) >= len(prefix) && string(id[:len(prefix)]) == prefix {
+			bm.bytes -= int64(len(d))
+			delete(bm.blocks, id)
+			n++
+		}
+	}
+	return n
+}
+
+// StoredBytes returns the total bytes resident.
+func (bm *BlockManager) StoredBytes() int64 {
+	bm.mu.RLock()
+	defer bm.mu.RUnlock()
+	return bm.bytes
+}
+
+// BlockCount returns the number of resident blocks.
+func (bm *BlockManager) BlockCount() int {
+	bm.mu.RLock()
+	defer bm.mu.RUnlock()
+	return len(bm.blocks)
+}
+
+// Stats returns put/get/hit counters.
+func (bm *BlockManager) Stats() (puts, gets, hits int64) {
+	bm.mu.RLock()
+	defer bm.mu.RUnlock()
+	return bm.puts, bm.gets, bm.hits
+}

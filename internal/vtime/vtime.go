@@ -1,0 +1,194 @@
+// Package vtime provides the virtual-time primitives used by the simulated
+// cluster. Every simulated thread of execution (a task slot, an RPC
+// endpoint, a NIC) owns a Clock measured in virtual nanoseconds. Costs are
+// modeled, not measured: communication and compute advance clocks according
+// to a LogGP-style model, so experiment results are deterministic and
+// independent of the host machine.
+//
+// The rules are the classic ones from distributed virtual-time simulation:
+//
+//   - local work advances a clock by its modeled cost;
+//   - a message carries the sender's clock (plus transport costs) as a
+//     timestamp;
+//   - receiving a message advances the receiver's clock to at least the
+//     message timestamp (causality), never backwards.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stamp is a point in virtual time, in nanoseconds since the start of the
+// simulation. The zero Stamp is the simulation epoch.
+type Stamp int64
+
+// Duration converts a time.Duration into virtual nanoseconds.
+func Duration(d time.Duration) Stamp { return Stamp(d.Nanoseconds()) }
+
+// Add returns the stamp advanced by d.
+func (s Stamp) Add(d time.Duration) Stamp { return s + Stamp(d.Nanoseconds()) }
+
+// Max returns the later of the two stamps.
+func Max(a, b Stamp) Stamp {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AsDuration converts the stamp back into a time.Duration from the epoch.
+func (s Stamp) AsDuration() time.Duration { return time.Duration(s) }
+
+// String formats the stamp as a duration for human-readable logs.
+func (s Stamp) String() string { return fmt.Sprintf("vt+%v", time.Duration(s)) }
+
+// Clock is a monotonic virtual clock owned by one simulated thread of
+// execution. The zero value is a clock at the epoch, ready to use.
+// Clocks are safe for concurrent use.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a clock initialized to the given stamp.
+func NewClock(at Stamp) *Clock {
+	c := &Clock{}
+	c.now.Store(int64(at))
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Stamp { return Stamp(c.now.Load()) }
+
+// Advance moves the clock forward by the modeled cost d and returns the new
+// time. Negative durations are ignored.
+func (c *Clock) Advance(d time.Duration) Stamp {
+	if d <= 0 {
+		return c.Now()
+	}
+	return Stamp(c.now.Add(d.Nanoseconds()))
+}
+
+// Observe applies the causality rule: the clock is advanced to at least s.
+// It returns the resulting time. Observe never moves the clock backwards.
+func (c *Clock) Observe(s Stamp) Stamp {
+	for {
+		cur := c.now.Load()
+		if int64(s) <= cur {
+			return Stamp(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(s)) {
+			return s
+		}
+	}
+}
+
+// ObserveAndAdvance merges an incoming timestamp and then adds local cost,
+// a common pattern when handling a received message.
+func (c *Clock) ObserveAndAdvance(s Stamp, d time.Duration) Stamp {
+	c.Observe(s)
+	return c.Advance(d)
+}
+
+// interval is one busy span [start, end).
+type interval struct {
+	start, end Stamp
+}
+
+// maxIntervals bounds the busy-list length; beyond it the oldest intervals
+// are coalesced (conservatively surrendering their idle gaps).
+const maxIntervals = 256
+
+// Resource models a serially-shared resource (a NIC direction, a bus, a
+// serialized handler). Occupying it for a duration starting no earlier than
+// `ready` returns the interval actually granted; requests queue in virtual
+// time, which models contention.
+//
+// Because the simulation issues Occupy calls in real-time order, not
+// virtual-time order, the resource keeps a bounded list of busy intervals
+// and backfills idle gaps: a request that is ready before already-granted
+// future work uses the idle capacity in between rather than queueing behind
+// it. Without backfill, pipelined components that run ahead in virtual time
+// would artificially serialize unrelated traffic.
+type Resource struct {
+	mu   sync.Mutex
+	busy []interval
+}
+
+// NewResource returns a resource that is free at the epoch.
+func NewResource() *Resource { return &Resource{} }
+
+// Occupy reserves the resource for duration d starting no earlier than
+// ready. It returns the virtual start and end of the granted interval.
+func (r *Resource) Occupy(ready Stamp, d time.Duration) (start, end Stamp) {
+	if d < 0 {
+		d = 0
+	}
+	if ready < 0 {
+		ready = 0
+	}
+	need := Stamp(d.Nanoseconds())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Find the first idle gap at or after `ready` that fits `need`.
+	insert := len(r.busy)
+	start = ready
+	for i, iv := range r.busy {
+		gapEnd := iv.start
+		if start+need <= gapEnd {
+			insert = i
+			break
+		}
+		if iv.end > start {
+			start = iv.end
+		}
+	}
+	end = start + need
+	r.busy = append(r.busy, interval{})
+	copy(r.busy[insert+1:], r.busy[insert:])
+	r.busy[insert] = interval{start: start, end: end}
+	r.coalesce(insert)
+	return start, end
+}
+
+// coalesce merges the interval at idx with adjacent touching intervals and
+// enforces the length bound.
+func (r *Resource) coalesce(idx int) {
+	// Merge with previous.
+	for idx > 0 && r.busy[idx-1].end >= r.busy[idx].start {
+		r.busy[idx-1].end = Max(r.busy[idx-1].end, r.busy[idx].end)
+		r.busy = append(r.busy[:idx], r.busy[idx+1:]...)
+		idx--
+	}
+	// Merge with next.
+	for idx+1 < len(r.busy) && r.busy[idx].end >= r.busy[idx+1].start {
+		r.busy[idx].end = Max(r.busy[idx].end, r.busy[idx+1].end)
+		r.busy = append(r.busy[:idx+1], r.busy[idx+2:]...)
+	}
+	// Bound memory: surrender the oldest idle gaps.
+	for len(r.busy) > maxIntervals {
+		r.busy[0].end = r.busy[1].end
+		r.busy = append(r.busy[:1], r.busy[2:]...)
+	}
+}
+
+// FreeAt reports when the resource's last reserved interval ends.
+func (r *Resource) FreeAt() Stamp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.busy) == 0 {
+		return 0
+	}
+	return r.busy[len(r.busy)-1].end
+}
+
+// Reset returns the resource to the epoch. Intended for reusing fixtures in
+// tests and benchmarks.
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.busy = nil
+}

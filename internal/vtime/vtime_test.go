@@ -1,0 +1,257 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Microsecond)
+	c.Advance(7 * time.Microsecond)
+	if got, want := c.Now(), Duration(12*time.Microsecond); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	var c Clock
+	c.Advance(10 * time.Nanosecond)
+	c.Advance(-5 * time.Nanosecond)
+	if got, want := c.Now(), Stamp(10); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockObserveForwardOnly(t *testing.T) {
+	var c Clock
+	c.Observe(100)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("after Observe(100), Now() = %v", got)
+	}
+	c.Observe(50) // must not move backwards
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Observe(50) moved clock backwards to %v", got)
+	}
+}
+
+func TestObserveAndAdvance(t *testing.T) {
+	c := NewClock(10)
+	got := c.ObserveAndAdvance(40, 5*time.Nanosecond)
+	if got != 45 {
+		t.Fatalf("ObserveAndAdvance = %v, want 45", got)
+	}
+	got = c.ObserveAndAdvance(20, 5*time.Nanosecond) // stale stamp
+	if got != 50 {
+		t.Fatalf("ObserveAndAdvance with stale stamp = %v, want 50", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	var c Clock
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), Stamp(workers*per); got != want {
+		t.Fatalf("concurrent Advance lost updates: %v, want %v", got, want)
+	}
+}
+
+func TestClockConcurrentObserveIsMax(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 1; i <= 100; i++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			c.Observe(Stamp(v))
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := c.Now(); got != 100 {
+		t.Fatalf("concurrent Observe: Now() = %v, want 100", got)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource()
+	s1, e1 := r.Occupy(0, 10*time.Nanosecond)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first Occupy = [%v,%v], want [0,10]", s1, e1)
+	}
+	// Request arriving earlier in virtual time must queue behind.
+	s2, e2 := r.Occupy(5, 10*time.Nanosecond)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second Occupy = [%v,%v], want [10,20]", s2, e2)
+	}
+	// Request arriving after the resource is free starts immediately.
+	s3, e3 := r.Occupy(100, 1*time.Nanosecond)
+	if s3 != 100 || e3 != 101 {
+		t.Fatalf("third Occupy = [%v,%v], want [100,101]", s3, e3)
+	}
+}
+
+func TestResourceNegativeDuration(t *testing.T) {
+	r := NewResource()
+	s, e := r.Occupy(7, -3)
+	if s != 7 || e != 7 {
+		t.Fatalf("Occupy with negative duration = [%v,%v], want [7,7]", s, e)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource()
+	r.Occupy(0, time.Hour)
+	r.Reset()
+	if got := r.FreeAt(); got != 0 {
+		t.Fatalf("after Reset, FreeAt = %v", got)
+	}
+}
+
+// Property: total occupancy equals the sum of durations when all requests
+// are ready at the epoch (no idle gaps).
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		r := NewResource()
+		var sum Stamp
+		for _, d := range durs {
+			r.Occupy(0, time.Duration(d))
+			sum += Stamp(d)
+		}
+		return r.FreeAt() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Observe is idempotent and order-insensitive (result is the max).
+func TestObserveMaxProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		var c Clock
+		var max Stamp
+		for _, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			s := Stamp(v)
+			c.Observe(s)
+			if s > max {
+				max = s
+			}
+		}
+		return c.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStampHelpers(t *testing.T) {
+	if Max(Stamp(3), Stamp(9)) != 9 || Max(Stamp(9), Stamp(3)) != 9 {
+		t.Fatal("Max broken")
+	}
+	if Stamp(1000).AsDuration() != time.Microsecond {
+		t.Fatal("AsDuration broken")
+	}
+	if Duration(time.Millisecond) != 1e6 {
+		t.Fatal("Duration broken")
+	}
+	if got := Stamp(1500).Add(500 * time.Nanosecond); got != 2000 {
+		t.Fatalf("Add = %v", got)
+	}
+}
+
+func TestResourceBackfill(t *testing.T) {
+	r := NewResource()
+	r.Occupy(0, 10*time.Nanosecond)   // [0,10)
+	r.Occupy(100, 10*time.Nanosecond) // [100,110)
+	// A later real-time request that is ready at 20 must use the idle gap.
+	s, e := r.Occupy(20, 5*time.Nanosecond)
+	if s != 20 || e != 25 {
+		t.Fatalf("backfill Occupy = [%v,%v], want [20,25]", s, e)
+	}
+	// A request that does not fit before 100 lands after 110.
+	s, e = r.Occupy(30, 80*time.Nanosecond)
+	if s != 110 || e != 190 {
+		t.Fatalf("non-fitting Occupy = [%v,%v], want [110,190]", s, e)
+	}
+	if r.FreeAt() != 190 {
+		t.Fatalf("FreeAt = %v", r.FreeAt())
+	}
+}
+
+func TestResourceBackfillExactFit(t *testing.T) {
+	r := NewResource()
+	r.Occupy(0, 10*time.Nanosecond)
+	r.Occupy(20, 10*time.Nanosecond)
+	s, e := r.Occupy(10, 10*time.Nanosecond) // exactly fills [10,20)
+	if s != 10 || e != 20 {
+		t.Fatalf("exact-fit Occupy = [%v,%v]", s, e)
+	}
+	// Everything merged into [0,30): a zero-ready request queues at 30.
+	s, _ = r.Occupy(0, time.Nanosecond)
+	if s != 30 {
+		t.Fatalf("post-merge Occupy start = %v, want 30", s)
+	}
+}
+
+func TestResourceBoundedMemory(t *testing.T) {
+	r := NewResource()
+	for i := 0; i < 10*maxIntervals; i++ {
+		r.Occupy(Stamp(i*100), time.Nanosecond)
+	}
+	r.mu.Lock()
+	n := len(r.busy)
+	r.mu.Unlock()
+	if n > maxIntervals {
+		t.Fatalf("busy list grew to %d (> %d)", n, maxIntervals)
+	}
+}
+
+// Property: granted intervals never overlap and each starts at or after its
+// ready time.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct {
+		Ready uint16
+		Dur   uint8
+	}) bool {
+		r := NewResource()
+		type iv struct{ s, e Stamp }
+		var granted []iv
+		for _, q := range reqs {
+			s, e := r.Occupy(Stamp(q.Ready), time.Duration(q.Dur))
+			if s < Stamp(q.Ready) {
+				return false
+			}
+			for _, g := range granted {
+				if q.Dur > 0 && s < g.e && g.s < e {
+					return false // overlap
+				}
+			}
+			granted = append(granted, iv{s, e})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
