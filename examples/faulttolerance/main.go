@@ -1,7 +1,8 @@
 // Fault-tolerance example: a worker node dies mid-application and the
 // scheduler reroutes its tasks to the survivors — the extension built on
 // the MPI_Comm_connect/accept direction the paper names as future work
-// (task retry with executor blacklisting; see DESIGN.md §6).
+// (task retry with executor blacklisting, plus FetchFailed-driven
+// map-stage resubmission for lost shuffle outputs; see DESIGN.md §6).
 //
 //	go run ./examples/faulttolerance
 package main
@@ -11,6 +12,7 @@ import (
 	"log"
 
 	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/deploy"
 )
@@ -48,16 +50,42 @@ func main() {
 	}
 	fmt.Printf("before failure: sum = %d across %d executors\n", sum, len(cl.Executors))
 
+	// Materialize a shuffle so w1 holds registered map outputs when it
+	// dies: losing them forces the scheduler down the FetchFailed path,
+	// not just task rerouting.
+	conf := spark.ShuffleConf[int64, int64]{
+		Codec: spark.PairCodec[int64, int64]{Key: spark.Int64Codec{}, Val: spark.Int64Codec{}},
+		Ops:   spark.Int64Key{},
+		Parts: 6,
+	}
+	byKey := spark.ReduceByKey(
+		spark.KeyBy(data, func(v int64) int64 { return v % 10 }),
+		conf,
+		func(a, b int64) int64 { return a + b },
+	)
+	if _, err := spark.Collect(byKey); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("injecting failure: node w1 goes down")
 	f.FailNode("w1")
 
-	// The same job runs again: tasks destined for w1's executor fail to
-	// launch, the scheduler blacklists it and reroutes.
+	// The same jobs run again. Map-only tasks destined for w1's executor
+	// fail to launch and get rerouted; reduce tasks fetching w1's shuffle
+	// blocks hit FetchFailedError, and the scheduler resubmits exactly the
+	// lost map tasks on the survivors.
 	sum2, err := spark.Reduce(data, func(a, b int64) int64 { return a + b })
 	if err != nil {
 		log.Fatalf("job did not survive the failure: %v", err)
 	}
 	fmt.Printf("after failure:  sum = %d (identical), rerouted around w1\n", sum2)
+
+	groups, err := spark.Collect(byKey)
+	if err != nil {
+		log.Fatalf("shuffle job did not survive the failure: %v", err)
+	}
+	fmt.Printf("after failure:  %d shuffle groups recovered via %d map-stage resubmission(s)\n",
+		len(groups), metrics.CounterValue("scheduler.map_stage.resubmissions"))
 	for _, s := range cl.Ctx.Stages() {
 		fmt.Printf("  %-22s %v\n", s.Name, s.Duration().AsDuration())
 	}

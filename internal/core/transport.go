@@ -235,6 +235,13 @@ func (t *basicTransport) WriteMsg(msg any, vt vtime.Stamp) vtime.Stamp {
 	}
 	r, tag := mc.route, mc.sendTag
 	mc.mu.Unlock()
+	// A dead establishment socket means the peer node failed (FailNode
+	// closes it): drop the frame like a broken TCP connection would,
+	// instead of parking it in the MPI queues of a process whose selector
+	// no longer polls this channel.
+	if t.conn.Closed() {
+		return vt
+	}
 	// Isend without waiting: the MPI progress engine owns rendezvous
 	// completion, so a blocked peer selector cannot deadlock two servers
 	// writing large frames to each other.

@@ -37,6 +37,12 @@ func (s Stats) MessagesFor(p Protocol) int64 { return s.Messages[p] }
 // BytesFor returns the byte count observed for protocol p.
 func (s Stats) BytesFor(p Protocol) int64 { return s.Bytes[p] }
 
+// TransferHook observes every Transfer on the fabric before its costs are
+// charged. Failure-injection tests install one to fail a node at a precise
+// virtual moment mid-shuffle (the hook may call FailNode: Transfer holds no
+// fabric lock while invoking it).
+type TransferHook func(from, to *Node, proto Protocol, n int, at vtime.Stamp)
+
 // Fabric is a simulated interconnect: a set of nodes joined by a modeled
 // network. Create one with New, add nodes, then Listen/Dial between them.
 type Fabric struct {
@@ -46,6 +52,9 @@ type Fabric struct {
 	nodes     map[string]*Node
 	listeners map[Addr]*Listener
 	conns     map[*Conn]struct{}
+
+	hookMu sync.RWMutex
+	hook   TransferHook
 
 	msgs  [numProtocols]atomic.Int64
 	bytes [numProtocols]atomic.Int64
@@ -298,6 +307,12 @@ func (c *Conn) sendProto(data []byte, at vtime.Stamp, proto Protocol) (vtime.Sta
 // byte (plus receive overhead) is available at the receiver. Layers with
 // their own endpoints (MPI, RDMA) use this directly instead of a Conn.
 func (f *Fabric) Transfer(from, to *Node, proto Protocol, n int, at vtime.Stamp) (cpuFree, deliver vtime.Stamp) {
+	f.hookMu.RLock()
+	hook := f.hook
+	f.hookMu.RUnlock()
+	if hook != nil {
+		hook(from, to, proto, n, at)
+	}
 	f.account(proto, n)
 	if from == to {
 		d := f.model.loopback(n)
@@ -363,6 +378,17 @@ func (c *Conn) Close() error {
 	}
 	f.mu.Unlock()
 	return nil
+}
+
+// SetTransferHook installs fn as the fabric's transfer observer (nil
+// removes it). The hook runs synchronously inside every Transfer — keep it
+// cheap. It is the timing primitive for mid-shuffle failure injection:
+// tests trigger FailNode from inside the hook when a transfer matching
+// their predicate appears.
+func (f *Fabric) SetTransferHook(fn TransferHook) {
+	f.hookMu.Lock()
+	f.hook = fn
+	f.hookMu.Unlock()
 }
 
 // FailNode injects a node failure: every connection touching the node is

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. Obtain named counters through GetCounter; the scheduler and shuffle
+// layers use them to expose fault-tolerance events (fetch retries, map-stage
+// resubmissions) to tests and diagnostics.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any non-negative delta; negative deltas are a
+// programming error but are not checked, matching Prometheus counter
+// semantics loosely).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+var (
+	countersMu sync.Mutex
+	counters   = make(map[string]*Counter)
+)
+
+// GetCounter returns the process-wide counter with the given name, creating
+// it on first use.
+func GetCounter(name string) *Counter {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	c, ok := counters[name]
+	if !ok {
+		c = &Counter{}
+		counters[name] = c
+	}
+	return c
+}
+
+// CounterValue returns the named counter's current value (0 if it was never
+// touched).
+func CounterValue(name string) int64 {
+	countersMu.Lock()
+	c := counters[name]
+	countersMu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// CounterNames lists all registered counter names, sorted.
+func CounterNames() []string {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterRegistry(t *testing.T) {
+	const name = "test.counter.registry"
+	if CounterValue(name) != 0 {
+		t.Fatal("untouched counter not zero")
+	}
+	c := GetCounter(name)
+	c.Inc()
+	c.Add(4)
+	if got := CounterValue(name); got != 5 {
+		t.Fatalf("value = %d, want 5", got)
+	}
+	if GetCounter(name) != c {
+		t.Fatal("GetCounter returned a different instance for the same name")
+	}
+	found := false
+	for _, n := range CounterNames() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CounterNames missing %q: %v", name, CounterNames())
+	}
+}
+
+func TestCounterConcurrentInc(t *testing.T) {
+	c := GetCounter("test.counter.concurrent")
+	start := c.Value()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value() - start; got != 8000 {
+		t.Fatalf("concurrent incs = %d, want 8000", got)
+	}
+}

@@ -158,6 +158,14 @@ func ConnectQP(a, b *Device, at vtime.Stamp) (qpA, qpB *QueuePair, ready vtime.S
 // CQ returns the queue pair's completion queue.
 func (qp *QueuePair) CQ() *CompletionQueue { return qp.cq }
 
+// nodeFailed reports whether either endpoint's node has been failed on the
+// fabric. RDMA bypasses fabric connections, so queue pairs discover node
+// failure lazily, like a reliable-connected QP timing out its retries.
+func (qp *QueuePair) nodeFailed() bool {
+	fab := qp.local.fab
+	return fab.Failed(qp.local.node.Name()) || fab.Failed(qp.remote.node.Name())
+}
+
 // PostSend ships data to the peer (two-sided SEND). The payload surfaces
 // in the peer CQ as a recv completion; the local CQ receives a send
 // completion. It returns the time the caller's CPU is free.
@@ -167,6 +175,12 @@ func (qp *QueuePair) PostSend(data []byte, at vtime.Stamp) (vtime.Stamp, error) 
 	qp.mu.Unlock()
 	if closed {
 		return at, ErrClosed
+	}
+	if qp.nodeFailed() {
+		// Tear the pair down so peers blocked in CQ.Wait unblock with
+		// ErrClosed instead of hanging on a dead endpoint.
+		qp.Close()
+		return at, fmt.Errorf("rdma: post to failed node %s: %w", qp.remote.node.Name(), ErrClosed)
 	}
 	cpuFree, deliver := qp.local.fab.Transfer(qp.local.node, qp.remote.node, fabric.RDMA, len(data), at)
 	qp.cq.push(Completion{Op: "send", VT: cpuFree})
@@ -184,6 +198,10 @@ func (qp *QueuePair) Read(mr *MemoryRegion, off, n int, at vtime.Stamp) ([]byte,
 	qp.mu.Unlock()
 	if closed {
 		return nil, at, ErrClosed
+	}
+	if qp.nodeFailed() {
+		qp.Close()
+		return nil, at, fmt.Errorf("rdma: read from failed node %s: %w", qp.remote.node.Name(), ErrClosed)
 	}
 	if mr.dev != qp.remote {
 		return nil, at, fmt.Errorf("rdma: region not on peer device")

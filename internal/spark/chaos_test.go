@@ -1,0 +1,247 @@
+// Chaos suite: kill a worker node that holds registered map outputs and
+// require the job to complete anyway through FetchFailed-driven map-stage
+// resubmission — on every backend the paper compares (IPoIB, RDMA,
+// MPI-Basic, MPI-Optimized).
+//
+// The test lives in an external package so it can drive the two launch
+// paths the backends use: deploy.StartCluster (standalone master/worker,
+// Vanilla + RDMA) and core.LaunchMPICluster (the Fig. 3 mpiexec wrapper
+// flow, both MPI designs).
+package spark_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpi4spark/internal/core"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/spark"
+	"mpi4spark/internal/spark/deploy"
+	"mpi4spark/internal/spark/shuffle"
+)
+
+const chaosWorkers = 3
+
+// chaosCluster is one running cluster plus the handles the chaos tests
+// poke at.
+type chaosCluster struct {
+	fab *fabric.Fabric
+	ctx *spark.Context
+	// workerNodes[i] hosts exec-i (and, for the standalone path, worker-i).
+	workerNodes []*fabric.Node
+	close       func()
+}
+
+// newChaosCluster launches a three-worker cluster on the requested
+// backend, using the backend's real launch path.
+func newChaosCluster(t *testing.T, backend spark.Backend) *chaosCluster {
+	t.Helper()
+	f := fabric.New(fabric.NewIBHDRModel())
+	wn := make([]*fabric.Node, chaosWorkers)
+	for i := range wn {
+		wn[i] = f.AddNode(fmt.Sprintf("w%d", i))
+	}
+	master := f.AddNode("master")
+	driver := f.AddNode("driver")
+
+	cfg := spark.DefaultConfig()
+	cfg.DefaultParallelism = 2 * chaosWorkers
+
+	cc := &chaosCluster{fab: f, workerNodes: wn}
+	switch backend {
+	case spark.BackendVanilla, spark.BackendRDMA:
+		cl, err := deploy.StartCluster(deploy.Config{
+			Fabric:         f,
+			WorkerNodes:    wn,
+			MasterNode:     master,
+			DriverNode:     driver,
+			SlotsPerWorker: 2,
+			Backend:        backend,
+			CPU:            spark.DefaultCPUModel(),
+			Spark:          cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc.ctx = cl.Ctx
+		cc.close = cl.Close
+	case spark.BackendMPIBasic, spark.BackendMPIOpt:
+		design := core.DesignOptimized
+		if backend == spark.BackendMPIBasic {
+			design = core.DesignBasic
+		}
+		cl, err := core.LaunchMPICluster(core.ClusterConfig{
+			Fabric:         f,
+			WorkerNodes:    wn,
+			MasterNode:     master,
+			DriverNode:     driver,
+			SlotsPerWorker: 2,
+			Design:         design,
+			CPU:            spark.DefaultCPUModel(),
+			Spark:          cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc.ctx = cl.Ctx
+		cc.close = cl.Close
+	default:
+		t.Fatalf("unknown backend %v", backend)
+	}
+	t.Cleanup(cc.close)
+	return cc
+}
+
+func chaosConf(parts int) spark.ShuffleConf[int64, int64] {
+	return spark.ShuffleConf[int64, int64]{
+		Codec: spark.PairCodec[int64, int64]{Key: spark.Int64Codec{}, Val: spark.Int64Codec{}},
+		Ops:   spark.Int64Key{},
+		Parts: parts,
+	}
+}
+
+// chaosBackends is the cross-transport matrix.
+var chaosBackends = []spark.Backend{
+	spark.BackendVanilla,
+	spark.BackendRDMA,
+	spark.BackendMPIBasic,
+	spark.BackendMPIOpt,
+}
+
+// verifySums checks the ReduceByKey result: keys 0..9, each key summed
+// over nParts partitions of 40 records with value partition+1.
+func verifySums(t *testing.T, out []spark.Pair[int64, int64], nParts int) {
+	t.Helper()
+	if len(out) != 10 {
+		t.Fatalf("keys = %d, want 10", len(out))
+	}
+	var wantPerKey int64
+	for p := 0; p < nParts; p++ {
+		wantPerKey += 4 * int64(p+1) // 40 records/partition, 10 keys
+	}
+	for _, kv := range out {
+		if kv.V != wantPerKey {
+			t.Fatalf("key %d sum = %d, want %d", kv.K, kv.V, wantPerKey)
+		}
+	}
+}
+
+// TestChaosMapOutputLossResubmission is the headline chaos scenario: job 1
+// materializes a shuffle (its map outputs registered across all three
+// workers); a worker node then dies; job 2 reuses the shuffle, so its
+// reduce tasks fetch from the dead worker, hit FetchFailedError, and the
+// scheduler must unregister the lost outputs, resubmit only the missing
+// map tasks on the survivors, and re-run the reduce stage to the correct
+// answer.
+func TestChaosMapOutputLossResubmission(t *testing.T) {
+	const nParts = 6
+	for _, backend := range chaosBackends {
+		t.Run(backend.String(), func(t *testing.T) {
+			cc := newChaosCluster(t, backend)
+
+			pairs := spark.Generate(cc.ctx, nParts, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+				out := make([]spark.Pair[int64, int64], 40)
+				for i := range out {
+					out[i] = spark.Pair[int64, int64]{K: int64(i % 10), V: int64(part + 1)}
+				}
+				tc.ChargeRecords(len(out), 16*len(out))
+				return out
+			})
+			summed := spark.ReduceByKey(pairs, chaosConf(nParts), func(a, b int64) int64 { return a + b })
+
+			// Job 1: materialize the shuffle and finish cleanly.
+			out, err := spark.Collect(summed)
+			if err != nil {
+				t.Fatalf("job 1: %v", err)
+			}
+			verifySums(t, out, nParts)
+
+			resubBefore := metrics.CounterValue("scheduler.map_stage.resubmissions")
+			ffBefore := metrics.CounterValue("scheduler.fetch_failed")
+
+			// Kill the worker hosting exec-1: its registered map outputs
+			// become unfetchable.
+			cc.fab.FailNode(cc.workerNodes[1].Name())
+
+			// Job 2 reuses the shuffle; it must recover via resubmission.
+			out, err = spark.Collect(summed)
+			if err != nil {
+				t.Fatalf("job 2 did not survive map output loss: %v", err)
+			}
+			verifySums(t, out, nParts)
+
+			if d := metrics.CounterValue("scheduler.fetch_failed") - ffBefore; d == 0 {
+				t.Fatal("recovery recorded no fetch failures")
+			}
+			if d := metrics.CounterValue("scheduler.map_stage.resubmissions") - resubBefore; d == 0 {
+				t.Fatal("recovery recorded no map-stage resubmission")
+			}
+
+			// A third job keeps working against the shrunken cluster.
+			n, err := spark.Count(summed)
+			if err != nil {
+				t.Fatalf("job 3: %v", err)
+			}
+			if n != 10 {
+				t.Fatalf("job 3 count = %d, want 10", n)
+			}
+		})
+	}
+}
+
+// TestChaosStageAttemptsExhausted is the negative control: with stage
+// re-attempts capped at one, the same map-output loss must surface to the
+// caller as a typed FetchFailedError naming the dead executor — not a
+// hang, and not a spurious success.
+func TestChaosStageAttemptsExhausted(t *testing.T) {
+	const nParts = 6
+	f := fabric.New(fabric.NewIBHDRModel())
+	wn := make([]*fabric.Node, chaosWorkers)
+	for i := range wn {
+		wn[i] = f.AddNode(fmt.Sprintf("w%d", i))
+	}
+	cfg := spark.DefaultConfig()
+	cfg.DefaultParallelism = 2 * chaosWorkers
+	cfg.MaxStageAttempts = 1 // first FetchFailed is terminal
+	cl, err := deploy.StartCluster(deploy.Config{
+		Fabric:         f,
+		WorkerNodes:    wn,
+		MasterNode:     f.AddNode("master"),
+		DriverNode:     f.AddNode("driver"),
+		SlotsPerWorker: 2,
+		Backend:        spark.BackendVanilla,
+		CPU:            spark.DefaultCPUModel(),
+		Spark:          cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	pairs := spark.Generate(cl.Ctx, nParts, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+		out := make([]spark.Pair[int64, int64], 40)
+		for i := range out {
+			out[i] = spark.Pair[int64, int64]{K: int64(i % 10), V: int64(part + 1)}
+		}
+		return out
+	})
+	summed := spark.ReduceByKey(pairs, chaosConf(nParts), func(a, b int64) int64 { return a + b })
+	if _, err := spark.Collect(summed); err != nil {
+		t.Fatalf("job 1: %v", err)
+	}
+
+	f.FailNode(wn[1].Name())
+
+	_, err = spark.Collect(summed)
+	if err == nil {
+		t.Fatal("job succeeded with zero stage re-attempts and lost map outputs")
+	}
+	ff, ok := shuffle.AsFetchFailed(err)
+	if !ok {
+		t.Fatalf("error is not a FetchFailedError: %v", err)
+	}
+	if ff.Loc.ExecID != "exec-1" {
+		t.Fatalf("FetchFailedError names %q, want exec-1 (err: %v)", ff.Loc.ExecID, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"mpi4spark/internal/spark/rpc"
 	"mpi4spark/internal/spark/shuffle"
@@ -26,16 +27,37 @@ type Config struct {
 	// spark.task.maxFailures; default 3). A failing task is retried on a
 	// different executor when possible.
 	MaxTaskAttempts int
+	// MaxStageAttempts bounds how many times a job re-runs its stages
+	// after fetch failures (Spark's spark.stage.maxConsecutiveAttempts;
+	// default 4). Each attempt resubmits only the map tasks whose outputs
+	// were lost.
+	MaxStageAttempts int
+	// ShuffleMaxRetries is the per-block fetch retry budget
+	// (spark.shuffle.io.maxRetries; 0 disables retrying).
+	ShuffleMaxRetries int
+	// ShuffleRetryWait is the backoff before the first fetch retry,
+	// doubling per retry (spark.shuffle.io.retryWait). Backoff advances
+	// virtual time only.
+	ShuffleRetryWait time.Duration
+	// ShuffleFetchDeadline is the per-attempt fetch budget in virtual
+	// time; blocks arriving later count as timeouts and are retried
+	// (0 disables).
+	ShuffleFetchDeadline time.Duration
 }
 
 // DefaultConfig returns a reasonable configuration.
 func DefaultConfig() Config {
+	retry := shuffle.DefaultRetryPolicy()
 	return Config{
-		Name:               "app",
-		CPU:                DefaultCPUModel(),
-		DefaultParallelism: 4,
-		TaskClosureBytes:   1024,
-		MaxTaskAttempts:    3,
+		Name:                 "app",
+		CPU:                  DefaultCPUModel(),
+		DefaultParallelism:   4,
+		TaskClosureBytes:     1024,
+		MaxTaskAttempts:      3,
+		MaxStageAttempts:     4,
+		ShuffleMaxRetries:    retry.MaxRetries,
+		ShuffleRetryWait:     retry.RetryWait,
+		ShuffleFetchDeadline: retry.FetchDeadline,
 	}
 }
 
@@ -139,6 +161,17 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 	}
 	if cfg.MaxTaskAttempts < 1 {
 		cfg.MaxTaskAttempts = 3
+	}
+	if cfg.MaxStageAttempts < 1 {
+		cfg.MaxStageAttempts = 4
+	}
+	if cfg.ShuffleMaxRetries == 0 && cfg.ShuffleRetryWait == 0 && cfg.ShuffleFetchDeadline == 0 {
+		// All-zero means the caller did not think about fetch retries:
+		// use the shipped defaults (set any one field to opt out).
+		retry := shuffle.DefaultRetryPolicy()
+		cfg.ShuffleMaxRetries = retry.MaxRetries
+		cfg.ShuffleRetryWait = retry.RetryWait
+		cfg.ShuffleFetchDeadline = retry.FetchDeadline
 	}
 	if len(executors) == 0 {
 		return nil, fmt.Errorf("spark: context needs at least one executor")
@@ -264,4 +297,33 @@ func (c *Context) storeCompletion(comp *completion) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.comps[comp.taskID] = comp
+}
+
+// deliverDirect hands a stored completion to its stage waiter in-process,
+// for when the executor cannot reach the driver with a StatusUpdate (its
+// node was failed mid-task). The real driver learns of such a loss from
+// its side of the dead connection; modeling that as a direct handoff keeps
+// the scheduler free of timeouts while preserving the failure itself.
+func (c *Context) deliverDirect(taskID int64, vt vtime.Stamp) {
+	c.mu.Lock()
+	comp := c.comps[taskID]
+	w := c.waiters[taskID]
+	delete(c.comps, taskID)
+	delete(c.waiters, taskID)
+	c.mu.Unlock()
+	if comp == nil || w == nil {
+		return
+	}
+	comp.driverVT = vt
+	w <- comp
+}
+
+// shuffleRetryPolicy builds the fetch retry policy from the context's
+// configuration.
+func (c *Context) shuffleRetryPolicy() shuffle.RetryPolicy {
+	return shuffle.RetryPolicy{
+		MaxRetries:    c.cfg.ShuffleMaxRetries,
+		RetryWait:     c.cfg.ShuffleRetryWait,
+		FetchDeadline: c.cfg.ShuffleFetchDeadline,
+	}
 }

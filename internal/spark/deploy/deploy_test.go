@@ -99,8 +99,10 @@ func TestNodeFailureReroutesTasks(t *testing.T) {
 	defer cl.Close()
 	// Kill one worker node mid-cluster: the scheduler blacklists its
 	// executor and reroutes tasks to the survivors, so a recomputable job
-	// still succeeds (Spark's spark.task.maxFailures behaviour; lineage
-	// re-execution for lost shuffle outputs remains out of scope).
+	// still succeeds (Spark's spark.task.maxFailures behaviour). Lost
+	// shuffle outputs are likewise recovered — FetchFailed-driven
+	// map-stage resubmission, covered by the chaos suite in
+	// internal/spark/chaos_test.go.
 	cfg.Fabric.FailNode("w1")
 	r := spark.Parallelize(cl.Ctx, make([]int64, 300), 6)
 	n, err := spark.Count(r)

@@ -174,6 +174,7 @@ func (e *Executor) SetInflate(f func() float64) { e.inflate = f }
 func (e *Executor) Attach(ctx *Context) error {
 	e.ctx = ctx
 	e.tracker = shuffle.NewTrackerClient(e.env, ctx.driver.Addr())
+	e.sm.Retry = ctx.shuffleRetryPolicy()
 	return e.env.RegisterEndpoint(ExecutorEndpoint, func(c *rpc.Call) {
 		if len(c.Payload) < 8 {
 			return
@@ -228,9 +229,15 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 	binary.BigEndian.PutUint64(payload[:8], uint64(desc.id))
 	payload = payload[:size]
 	if _, err := e.env.Send(e.ctx.driver.Addr(), SchedulerEndpoint, payload, tc.vt); err != nil {
-		// Driver unreachable: surface through the completion (the driver
-		// will never see the status update; tests shut down cleanly).
-		comp.err = fmt.Errorf("spark: status update failed: %w", err)
+		// Driver unreachable: this executor's node was failed mid-task.
+		// Overwrite any task error — including a FetchFailedError whose
+		// real cause is this executor's own death severing its
+		// connections — so the scheduler retries the task elsewhere
+		// instead of unregistering healthy map outputs, and hand the
+		// completion to the stage waiter directly (the StatusUpdate RPC
+		// can never arrive).
+		comp.err = fmt.Errorf("spark: executor %s lost: status update failed: %w", e.id, err)
+		e.ctx.deliverDirect(desc.id, tc.vt)
 	}
 }
 

@@ -16,6 +16,12 @@ import (
 // ErrShutdown is returned for operations on a stopped environment.
 var ErrShutdown = errors.New("rpc: environment shut down")
 
+// ErrConnectionLost is returned for asks whose channel died before the
+// reply arrived (peer crash or network partition). Without it a fetch from
+// a failed node would block forever: the reply simply never comes. The
+// shuffle layer classifies it as a fetch failure.
+var ErrConnectionLost = errors.New("rpc: connection lost")
+
 // Handler processes calls delivered to an endpoint. Handlers run on the
 // endpoint's dispatch goroutine, one call at a time (Spark's dispatcher
 // semantics); long work must be handed off.
@@ -92,6 +98,14 @@ type askReply struct {
 	err  error
 }
 
+// pendingAsk tracks one outstanding request: the reply channel plus the
+// netty channel the request went out on, so a channel death can fail
+// exactly the asks riding it.
+type pendingAsk struct {
+	ch    *netty.Channel
+	reply chan askReply
+}
+
 type clientConn struct {
 	ch    *netty.Channel
 	ready vtime.Stamp
@@ -112,8 +126,8 @@ type Env struct {
 	mu            sync.Mutex
 	endpoints     map[string]*endpoint
 	conns         map[string]*clientConn
-	pending       map[int64]chan askReply
-	streamPending map[string][]chan askReply
+	pending       map[int64]*pendingAsk
+	streamPending map[string][]*pendingAsk
 	closed        bool
 
 	reqSeq atomic.Int64
@@ -139,7 +153,7 @@ func NewEnv(name string, node *fabric.Node, port string, cfg EnvConfig) (*Env, e
 		cfg:       cfg,
 		endpoints: make(map[string]*endpoint),
 		conns:     make(map[string]*clientConn),
-		pending:   make(map[int64]chan askReply),
+		pending:   make(map[int64]*pendingAsk),
 	}
 	e.group = netty.NewEventLoopGroup(cfg.EventLoops, netty.LoopConfig{
 		ReadEventCost:     cfg.ReadEventCost,
@@ -260,6 +274,13 @@ func (h *dispatchHandler) ChannelRead(ctx *netty.Context, msg any) {
 	}
 }
 
+// ChannelInactive fires when the channel's connection dies (FailNode, peer
+// shutdown): every ask still riding the channel fails with
+// ErrConnectionLost instead of blocking forever.
+func (h *dispatchHandler) ChannelInactive(ctx *netty.Context) {
+	h.env.failChannel(ctx.Channel())
+}
+
 func (e *Env) deliverToEndpoint(name string, c *Call) {
 	e.mu.Lock()
 	ep := e.endpoints[name]
@@ -272,11 +293,70 @@ func (e *Env) deliverToEndpoint(name string, c *Call) {
 
 func (e *Env) resolveAsk(id int64, r askReply) {
 	e.mu.Lock()
-	chn := e.pending[id]
+	p := e.pending[id]
 	delete(e.pending, id)
 	e.mu.Unlock()
-	if chn != nil {
-		chn <- r
+	if p != nil {
+		p.reply <- r
+	}
+}
+
+// failChannel resolves every pending ask and stream waiter riding ch with
+// ErrConnectionLost. The event loop closes channels whose connection died
+// (FailNode, peer shutdown), which fires ChannelInactive exactly once —
+// that is how a fetch from a dead executor becomes an error instead of a
+// hang, on the socket designs and the MPI designs alike (the MPI designs
+// keep their establishment socket, so a node failure still closes it).
+func (e *Env) failChannel(ch *netty.Channel) {
+	err := fmt.Errorf("%w: channel %s", ErrConnectionLost, ch.ID())
+	var victims []chan askReply
+	e.mu.Lock()
+	for id, p := range e.pending {
+		if p.ch == ch {
+			delete(e.pending, id)
+			victims = append(victims, p.reply)
+		}
+	}
+	for sid, ws := range e.streamPending {
+		keep := ws[:0]
+		for _, w := range ws {
+			if w.ch == ch {
+				victims = append(victims, w.reply)
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		if len(keep) == 0 {
+			delete(e.streamPending, sid)
+		} else {
+			e.streamPending[sid] = keep
+		}
+	}
+	e.mu.Unlock()
+	for _, v := range victims {
+		v <- askReply{err: err}
+	}
+}
+
+// registerAsk records an outstanding request on ch. It returns false when
+// the environment is shut down.
+func (e *Env) registerAsk(id int64, p *pendingAsk) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.pending[id] = p
+	return true
+}
+
+// checkChannelAlive fails the channel's pending asks if its connection
+// already died — closing the race where the connection closes between
+// connTo and the registration of a pending entry (ChannelInactive has
+// already fired and will not fire again for that channel).
+func (e *Env) checkChannelAlive(ch *netty.Channel) {
+	if conn := ch.Conn(); conn != nil && conn.Closed() {
+		e.failChannel(ch)
 	}
 }
 
@@ -319,8 +399,8 @@ func (e *Env) resolveStream(m *StreamResponse, vt vtime.Stamp) {
 	e.mu.Unlock()
 	// Every concurrent fetcher of the stream resolves from one response
 	// (duplicate requests for the same stream are folded together).
-	for _, chn := range waiters {
-		chn <- askReply{data: m.Body, vt: vt}
+	for _, w := range waiters {
+		w.reply <- askReply{data: m.Body, vt: vt}
 	}
 }
 
@@ -448,14 +528,11 @@ func (e *Env) Ask(peer fabric.Addr, endpointName string, payload []byte, at vtim
 	}
 	id := e.reqSeq.Add(1)
 	reply := make(chan askReply, 1)
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.registerAsk(id, &pendingAsk{ch: ch, reply: reply}) {
 		return nil, at, ErrShutdown
 	}
-	e.pending[id] = reply
-	e.mu.Unlock()
 	ch.Write(&RpcRequest{ReqID: id, Endpoint: endpointName, From: e.name, Payload: payload}, vt)
+	e.checkChannelAlive(ch)
 	r := <-reply
 	return r.data, vtime.Max(r.vt, at), r.err
 }
@@ -480,14 +557,11 @@ func (e *Env) FetchChunk(peer fabric.Addr, blockID string, at vtime.Stamp) ([]by
 	}
 	id := e.reqSeq.Add(1)
 	reply := make(chan askReply, 1)
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.registerAsk(id, &pendingAsk{ch: ch, reply: reply}) {
 		return nil, at, ErrShutdown
 	}
-	e.pending[id] = reply
-	e.mu.Unlock()
 	ch.Write(&ChunkFetchRequest{FetchID: id, BlockID: blockID}, vt)
+	e.checkChannelAlive(ch)
 	r := <-reply
 	return r.data, vtime.Max(r.vt, at), r.err
 }
@@ -505,11 +579,12 @@ func (e *Env) FetchStream(peer fabric.Addr, streamID string, at vtime.Stamp) ([]
 		return nil, at, ErrShutdown
 	}
 	if e.streamPending == nil {
-		e.streamPending = make(map[string][]chan askReply)
+		e.streamPending = make(map[string][]*pendingAsk)
 	}
-	e.streamPending[streamID] = append(e.streamPending[streamID], reply)
+	e.streamPending[streamID] = append(e.streamPending[streamID], &pendingAsk{ch: ch, reply: reply})
 	e.mu.Unlock()
 	ch.Write(&StreamRequest{StreamID: streamID}, vt)
+	e.checkChannelAlive(ch)
 	r := <-reply
 	return r.data, vtime.Max(r.vt, at), r.err
 }
@@ -527,16 +602,16 @@ func (e *Env) Shutdown() {
 	conns := e.conns
 	pending := e.pending
 	streams := e.streamPending
-	e.pending = make(map[int64]chan askReply)
+	e.pending = make(map[int64]*pendingAsk)
 	e.streamPending = nil
 	e.mu.Unlock()
 
 	for _, p := range pending {
-		p <- askReply{err: ErrShutdown}
+		p.reply <- askReply{err: ErrShutdown}
 	}
 	for _, ws := range streams {
 		for _, w := range ws {
-			w <- askReply{err: ErrShutdown}
+			w.reply <- askReply{err: ErrShutdown}
 		}
 	}
 	for _, ep := range eps {

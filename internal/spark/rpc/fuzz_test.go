@@ -1,0 +1,113 @@
+package rpc
+
+import (
+	"reflect"
+	"testing"
+
+	"mpi4spark/internal/bytebuf"
+)
+
+// fuzzSeeds returns one well-formed frame per Table II message type, the
+// base inputs the fuzzer mutates (the committed corpus under
+// testdata/fuzz/FuzzDecode adds truncations and hostile length fields).
+func fuzzSeeds() [][]byte {
+	msgs := []Message{
+		&RpcRequest{ReqID: 7, Endpoint: "Executor", From: "driver", Payload: []byte("launch")},
+		&RpcResponse{ReqID: 7, Payload: []byte("ok")},
+		&RpcFailure{ReqID: 7, Error: "endpoint missing"},
+		&OneWayMessage{Endpoint: "TaskScheduler", From: "exec-0", Payload: []byte("status")},
+		&ChunkFetchRequest{FetchID: 9, BlockID: "shuffle_1_2_3"},
+		&ChunkFetchSuccess{FetchID: 9, BlockID: "shuffle_1_2_3", Body: []byte("block-bytes")},
+		&ChunkFetchSuccess{FetchID: 9, BlockID: "shuffle_1_2_3", BodyViaMPI: true, BodySize: 1 << 20, BodyTag: 42},
+		&StreamRequest{StreamID: "jar/app.jar"},
+		&StreamResponse{StreamID: "jar/app.jar", Body: []byte("jar-bytes")},
+		&StreamResponse{StreamID: "jar/app.jar", BodyViaMPI: true, BodySize: 4096, BodyTag: 3},
+	}
+	out := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		out[i] = EncodeToBuf(m).Bytes()
+	}
+	return out
+}
+
+// FuzzDecode feeds arbitrary bytes through the Table II frame decoder.
+// Decode must never panic or over-read; when it accepts a frame, the
+// decoded message must survive an encode/decode round trip unchanged
+// (the property the shuffle path relies on when a retry re-requests a
+// block and compares against the original frame).
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	// Truncated frame and hostile length field, in addition to the
+	// committed corpus.
+	f.Add([]byte{byte(TypeRpcRequest), 0, 0, 0})
+	f.Add([]byte{byte(TypeRpcResponse), 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytebuf.Wrap(data))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("Decode returned both a message and an error: %v", err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("Decode returned nil message without error")
+		}
+		re := EncodeToBuf(m)
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of %s failed: %v (frame %x)", m.Type(), err, data)
+		}
+		if re.ReadableBytes() != 0 {
+			t.Fatalf("re-decode of %s left %d bytes unread", m.Type(), re.ReadableBytes())
+		}
+		if !roundTripEqual(m, m2) {
+			t.Fatalf("round trip changed %s: %#v != %#v", m.Type(), m, m2)
+		}
+	})
+}
+
+// roundTripEqual compares two decoded messages, treating nil and empty
+// byte slices as the same payload (Decode materializes zero-length fields
+// as empty slices).
+func roundTripEqual(a, b Message) bool {
+	na, nb := normalizeMsg(a), normalizeMsg(b)
+	return reflect.DeepEqual(na, nb)
+}
+
+func normalizeMsg(m Message) Message {
+	switch t := m.(type) {
+	case *RpcRequest:
+		c := *t
+		c.Payload = normBytes(c.Payload)
+		return &c
+	case *RpcResponse:
+		c := *t
+		c.Payload = normBytes(c.Payload)
+		return &c
+	case *OneWayMessage:
+		c := *t
+		c.Payload = normBytes(c.Payload)
+		return &c
+	case *ChunkFetchSuccess:
+		c := *t
+		c.Body = normBytes(c.Body)
+		return &c
+	case *StreamResponse:
+		c := *t
+		c.Body = normBytes(c.Body)
+		return &c
+	default:
+		return m
+	}
+}
+
+func normBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}

@@ -355,7 +355,10 @@ func Decode(buf *bytebuf.Buf) (Message, error) {
 		if m.BlockID, err = buf.ReadString(); err != nil {
 			return nil, err
 		}
-		return m, decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag)
+		if err := decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag); err != nil {
+			return nil, err
+		}
+		return m, nil
 	case TypeStreamRequest:
 		m := &StreamRequest{}
 		if m.StreamID, err = buf.ReadString(); err != nil {
@@ -367,7 +370,10 @@ func Decode(buf *bytebuf.Buf) (Message, error) {
 		if m.StreamID, err = buf.ReadString(); err != nil {
 			return nil, err
 		}
-		return m, decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag)
+		if err := decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag); err != nil {
+			return nil, err
+		}
+		return m, nil
 	default:
 		return nil, fmt.Errorf("rpc: unknown message type %d", tb)
 	}

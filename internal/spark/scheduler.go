@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/spark/shuffle"
 	"mpi4spark/internal/vtime"
 )
@@ -67,6 +68,13 @@ func (c *Context) preferredExecutor(r rddBase, part int) string {
 // runJob executes the DAG rooted at final: all not-yet-materialized
 // shuffle map stages in topological order, then the result stage, calling
 // collect with each result partition.
+//
+// A stage that fails with a FetchFailedError (a reduce task exhausted its
+// retries against a lost map output) does not fail the job outright: the
+// scheduler unregisters every map output on the lost executor, marks the
+// affected shuffles incomplete, and re-runs the DAG — which resubmits only
+// the missing map tasks, then the consuming stage. Attempts are bounded by
+// MaxStageAttempts.
 func (c *Context) runJob(final rddBase, resultSize func(any) int, collect func(part int, res any)) error {
 	c.jobMu.Lock()
 	defer c.jobMu.Unlock()
@@ -76,7 +84,24 @@ func (c *Context) runJob(final rddBase, resultSize func(any) int, collect func(p
 	c.jobSeq++
 	c.mu.Unlock()
 
-	for _, dep := range findShuffleDeps(final) {
+	deps := findShuffleDeps(final)
+	for attempt := 0; ; attempt++ {
+		err := c.tryRunJob(jobID, deps, final, resultSize, collect)
+		if err == nil {
+			return nil
+		}
+		ff, ok := shuffle.AsFetchFailed(err)
+		if !ok || attempt >= c.cfg.MaxStageAttempts-1 {
+			return err
+		}
+		c.recoverFetchFailure(ff)
+	}
+}
+
+// tryRunJob is one attempt at the DAG: every incomplete shuffle map stage
+// in topological order, then the result stage.
+func (c *Context) tryRunJob(jobID int, deps []*ShuffleDep, final rddBase, resultSize func(any) int, collect func(part int, res any)) error {
+	for _, dep := range deps {
 		c.mu.Lock()
 		done := c.doneShuffles[dep.shuffleID]
 		c.mu.Unlock()
@@ -90,10 +115,64 @@ func (c *Context) runJob(final rddBase, resultSize func(any) int, collect func(p
 	return c.runResultStage(jobID, final, resultSize, collect)
 }
 
-// runShuffleMapStage executes the map side of one shuffle.
+// recoverFetchFailure reacts to a lost shuffle block the way the
+// DAGScheduler reacts to a FetchFailedException: blacklist the executor
+// the fetch was against, forget every map output it held (across all
+// shuffles — they are all unreachable now), and mark those shuffles
+// incomplete so the next job attempt resubmits exactly the missing map
+// tasks. Concurrent fetch failures from sibling reducers fold into one
+// recovery: the stage surfaces a single first failure, and an executor
+// already unregistered yields no new lost outputs on a repeat report.
+func (c *Context) recoverFetchFailure(ff *shuffle.FetchFailedError) {
+	metrics.GetCounter("scheduler.fetch_failed").Inc()
+	affected := map[int]bool{ff.ShuffleID: true}
+	if ff.Loc.ExecID != "" {
+		c.markUnhealthy(ff.Loc.ExecID)
+		for shuffleID, lost := range c.tracker.UnregisterOutputsOnExecutor(ff.Loc.ExecID) {
+			if len(lost) > 0 {
+				affected[shuffleID] = true
+			}
+		}
+	}
+	c.mu.Lock()
+	for shuffleID := range affected {
+		if c.doneShuffles[shuffleID] {
+			c.doneShuffles[shuffleID] = false
+			metrics.GetCounter("scheduler.map_stage.resubmissions").Inc()
+		}
+	}
+	c.mu.Unlock()
+	// Every executor's tracker cache may hold the dead locations
+	// (Spark bumps the tracker epoch; in-process invalidation is our
+	// stand-in).
+	for _, e := range c.executors {
+		for shuffleID := range affected {
+			e.tracker.Invalidate(shuffleID)
+		}
+	}
+}
+
+// runShuffleMapStage executes the map side of one shuffle. On a first run
+// it registers the shuffle and runs every map task; on a resubmission
+// (after a fetch failure unregistered some outputs) it runs only the map
+// tasks whose outputs are missing.
 func (c *Context) runShuffleMapStage(jobID int, dep *ShuffleDep) error {
 	numMaps := dep.parent.partitions()
-	c.tracker.RegisterShuffle(dep.shuffleID, numMaps)
+	missing, err := c.tracker.MissingOutputs(dep.shuffleID)
+	if err != nil {
+		// First execution: register and run the full stage.
+		c.tracker.RegisterShuffle(dep.shuffleID, numMaps)
+		missing = make([]int, numMaps)
+		for i := range missing {
+			missing[i] = i
+		}
+	}
+	if len(missing) == 0 {
+		c.mu.Lock()
+		c.doneShuffles[dep.shuffleID] = true
+		c.mu.Unlock()
+		return nil
+	}
 
 	c.mu.Lock()
 	c.stageSeq++
@@ -105,10 +184,10 @@ func (c *Context) runShuffleMapStage(jobID int, dep *ShuffleDep) error {
 	}
 	c.mu.Unlock()
 
-	tasks := make([]*taskDescriptor, numMaps)
-	for part := 0; part < numMaps; part++ {
+	tasks := make([]*taskDescriptor, len(missing))
+	for i, part := range missing {
 		p := part
-		tasks[part] = &taskDescriptor{
+		tasks[i] = &taskDescriptor{
 			stage:      stage,
 			part:       p,
 			preferred:  c.preferredExecutor(dep.parent, p),
@@ -271,10 +350,14 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 			if debugTiming {
 				fmt.Printf("DBG task=%d exec=%s execVT=%v driverVT=%v\n", comp.taskID, comp.execID, comp.execVT, comp.driverVT)
 			}
-			if comp.err != nil && attempts[i] < c.cfg.MaxTaskAttempts-1 {
+			_, fetchFailed := shuffle.AsFetchFailed(comp.err)
+			if comp.err != nil && !fetchFailed && attempts[i] < c.cfg.MaxTaskAttempts-1 {
 				// Retry on a different executor, like Spark's
 				// spark.task.maxFailures. The retry relaunches at the
-				// failure's driver-side time.
+				// failure's driver-side time. Fetch failures are exempt:
+				// re-running the reduce task against the same lost map
+				// output cannot succeed — the map stage must be
+				// resubmitted first, which runJob handles.
 				attempts[i]++
 				exclusions[i][comp.execID] = true
 				t := tasks[i]

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/spark/storage"
 	"mpi4spark/internal/vtime"
 )
@@ -19,6 +20,9 @@ type Manager struct {
 	LocalReadCost time.Duration
 	// LocalReadNsPerByte is the modeled per-byte local read cost.
 	LocalReadNsPerByte float64
+	// Retry bounds remote fetches (retries, backoff, per-attempt
+	// deadline).
+	Retry RetryPolicy
 }
 
 // NewManager creates a shuffle manager over the executor's block manager.
@@ -27,6 +31,7 @@ func NewManager(bm *storage.BlockManager) *Manager {
 		bm:                 bm,
 		LocalReadCost:      2 * time.Microsecond,
 		LocalReadNsPerByte: 0.15,
+		Retry:              DefaultRetryPolicy(),
 	}
 }
 
@@ -57,6 +62,12 @@ const maxInFlight = 16
 // selfID is the calling executor. It returns the blocks (indexed by map id)
 // and the virtual time at which the last block is available — the shuffle
 // read time that dominates the paper's Job1-ResultStage.
+//
+// Remote fetches are retried per RetryPolicy. Once any block is declared
+// lost the fetch aborts early: no new fetches launch, in-flight fetches
+// skip their remaining retries, and the first failure — a
+// *FetchFailedError naming the lost map output — is returned after every
+// outstanding goroutine has drained (no goroutine outlives the call).
 func (m *Manager) FetchShuffleParts(
 	shuffleID, reduceID int,
 	statuses []*MapStatus,
@@ -64,11 +75,24 @@ func (m *Manager) FetchShuffleParts(
 	bts BlockTransferService,
 	at vtime.Stamp,
 ) ([]FetchResult, vtime.Stamp, error) {
+	// Validate the metadata upfront: a nil status means the tracker's
+	// view is already missing this map output, which is a fetch failure
+	// in its own right (zero Loc — nothing to unregister).
+	for mapID, st := range statuses {
+		if st == nil {
+			return nil, at, &FetchFailedError{
+				ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID,
+				Err: fmt.Errorf("no registered map output"),
+			}
+		}
+	}
+
 	results := make([]FetchResult, len(statuses))
 	maxVT := at
 
 	var mu sync.Mutex
 	var firstErr error
+	aborted := false
 	sem := make(chan struct{}, maxInFlight)
 	var wg sync.WaitGroup
 
@@ -83,13 +107,19 @@ func (m *Manager) FetchShuffleParts(
 		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
+			aborted = true
 		}
 		mu.Unlock()
 	}
+	abortedNow := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return aborted
+	}
 
 	for mapID, st := range statuses {
-		if st == nil {
-			return nil, at, fmt.Errorf("shuffle %d: missing map output %d", shuffleID, mapID)
+		if abortedNow() {
+			break
 		}
 		if st.Sizes[reduceID] == 0 {
 			results[mapID] = FetchResult{MapID: mapID, Data: nil}
@@ -100,7 +130,11 @@ func (m *Manager) FetchShuffleParts(
 			// Local block: no network, only the local read cost.
 			data, ok := m.bm.Get(blockID)
 			if !ok {
-				return nil, at, fmt.Errorf("shuffle: local block %s missing", blockID)
+				fail(&FetchFailedError{
+					ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID, Loc: st.Loc,
+					Err: fmt.Errorf("local block %s missing", blockID),
+				})
+				break
 			}
 			cost := m.LocalReadCost + time.Duration(m.LocalReadNsPerByte*float64(len(data)))
 			observe(at.Add(cost))
@@ -112,9 +146,16 @@ func (m *Manager) FetchShuffleParts(
 		go func(mapID int, st *MapStatus) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			data, vt, err := bts.Fetch(st.Loc, blockID, at)
+			if abortedNow() {
+				return
+			}
+			data, vt, err := m.fetchWithRetry(bts, st.Loc, blockID, at, abortedNow)
 			if err != nil {
-				fail(fmt.Errorf("shuffle: fetch %s from %s: %w", blockID, st.Loc.ExecID, err))
+				metrics.GetCounter("shuffle.fetch.failures").Inc()
+				fail(&FetchFailedError{
+					ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID, Loc: st.Loc,
+					Err: err,
+				})
 				return
 			}
 			observe(vt)
@@ -128,4 +169,50 @@ func (m *Manager) FetchShuffleParts(
 		return nil, at, firstErr
 	}
 	return results, maxVT, nil
+}
+
+// fetchWithRetry runs one block fetch under the manager's RetryPolicy.
+// Backoff and deadline accounting advance the attempt's virtual-time
+// stamp only — no wall-clock sleeping — so the schedule is deterministic.
+// giveUp short-circuits remaining retries once a sibling fetch has
+// already declared a block lost.
+func (m *Manager) fetchWithRetry(
+	bts BlockTransferService,
+	loc Location,
+	blockID storage.BlockID,
+	at vtime.Stamp,
+	giveUp func() bool,
+) ([]byte, vtime.Stamp, error) {
+	p := m.Retry
+	attemptAt := at
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > p.MaxRetries || giveUp() {
+				break
+			}
+			// Exponential backoff in virtual time.
+			attemptAt = attemptAt.Add(p.backoff(attempt))
+			metrics.GetCounter("shuffle.fetch.retries").Inc()
+		}
+		data, vt, err := bts.Fetch(loc, blockID, attemptAt)
+		if err != nil {
+			lastErr = err
+			attemptAt = vtime.Max(attemptAt, vt)
+			continue
+		}
+		if p.FetchDeadline > 0 && vt > attemptAt.Add(p.FetchDeadline) {
+			// The block arrived past the attempt's budget: the real
+			// fetcher would have timed the request out and retried.
+			metrics.GetCounter("shuffle.fetch.timeouts").Inc()
+			lastErr = fmt.Errorf("fetch %s from %s exceeded deadline %v", blockID, loc.ExecID, p.FetchDeadline)
+			attemptAt = attemptAt.Add(p.FetchDeadline)
+			continue
+		}
+		return data, vt, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("fetch %s from %s aborted", blockID, loc.ExecID)
+	}
+	return nil, attemptAt, lastErr
 }

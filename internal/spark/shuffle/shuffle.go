@@ -118,6 +118,52 @@ func (t *MapOutputTracker) UnregisterShuffle(shuffleID int) {
 	delete(t.statuses, shuffleID)
 }
 
+// UnregisterMapOutput forgets one map output (its block was lost).
+func (t *MapOutputTracker) UnregisterMapOutput(shuffleID, mapID int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ss, ok := t.statuses[shuffleID]; ok && mapID >= 0 && mapID < len(ss) {
+		ss[mapID] = nil
+	}
+}
+
+// UnregisterOutputsOnExecutor forgets every map output registered on the
+// given executor, across all shuffles — the DAGScheduler's response to an
+// executor loss. It returns shuffleID -> the map ids that were dropped,
+// so the scheduler knows which map stages to (partially) resubmit.
+func (t *MapOutputTracker) UnregisterOutputsOnExecutor(execID string) map[int][]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lost := make(map[int][]int)
+	for shuffleID, ss := range t.statuses {
+		for mapID, st := range ss {
+			if st != nil && st.Loc.ExecID == execID {
+				ss[mapID] = nil
+				lost[shuffleID] = append(lost[shuffleID], mapID)
+			}
+		}
+	}
+	return lost
+}
+
+// MissingOutputs lists the map ids of a shuffle with no registered status
+// (never completed, or unregistered after an executor loss).
+func (t *MapOutputTracker) MissingOutputs(shuffleID int) ([]int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ss, ok := t.statuses[shuffleID]
+	if !ok {
+		return nil, fmt.Errorf("shuffle: unregistered shuffle %d", shuffleID)
+	}
+	var missing []int
+	for mapID, st := range ss {
+		if st == nil {
+			missing = append(missing, mapID)
+		}
+	}
+	return missing, nil
+}
+
 // SerializeOutputs encodes all statuses of a shuffle for the tracker RPC.
 func (t *MapOutputTracker) SerializeOutputs(shuffleID int) ([]byte, error) {
 	ss, err := t.Outputs(shuffleID)

@@ -113,6 +113,9 @@ func (s *Server) Connect(clientDev *rdma.Device, at vtime.Stamp) (*Client, vtime
 		return nil, at, rdma.ErrClosed
 	}
 	s.mu.Unlock()
+	if fab := s.dev.Node().Fabric(); fab.Failed(s.dev.Node().Name()) || fab.Failed(clientDev.Node().Name()) {
+		return nil, at, fmt.Errorf("ucr: connect to failed node %s: %w", s.dev.Node().Name(), rdma.ErrClosed)
+	}
 	clientQP, serverQP, ready := rdma.ConnectQP(clientDev, s.dev, at)
 	sc := &serverConn{qp: serverQP}
 	s.mu.Lock()
