@@ -86,3 +86,22 @@ func (p *Pool) Release(b *Buf) {
 func (p *Pool) Stats() (gets, hits int64) {
 	return p.gets.Load(), p.hits.Load()
 }
+
+// Release returns the buffer to the pool it came from. It is a no-op for
+// unpooled buffers, so callers can release unconditionally. The buffer
+// must not be used after Release.
+func (b *Buf) Release() {
+	if b.pool != nil {
+		b.pool.Release(b)
+	}
+}
+
+// Default is the process-wide pool backing Get. The shuffle data path
+// (message encoding, frame assembly, batched block reassembly) carves its
+// buffers from it so steady-state shuffle allocates O(chunk size) instead
+// of a fresh slice per message.
+var Default = NewPool(nil)
+
+// Get returns an empty pooled buffer with capacity at least n from the
+// Default pool.
+func Get(n int) *Buf { return Default.Get(n) }

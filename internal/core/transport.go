@@ -360,6 +360,21 @@ func (h *optOutbound) Write(ctx *netty.Context, msg any) {
 			})
 			return
 		}
+	case *rpc.BlockBatchChunk:
+		// Each batch chunk body becomes exactly one eager/rendezvous MPI
+		// message (§IV-E); the chunk header stays on the socket and
+		// triggers the matching MPI_Recv on the other side. Missing/empty
+		// chunks are header-only and skip the MPI path.
+		if !m.BodyViaMPI && !m.Missing && len(m.Body) > 0 {
+			tag := mpi.AllocTag()
+			r.h.Isend(r.rank, tag, m.Body, ctx.VT())
+			ctx.Write(&rpc.BlockBatchChunk{
+				BatchID: m.BatchID, Index: m.Index,
+				Total: m.Total, Offset: m.Offset,
+				BodyViaMPI: true, BodySize: len(m.Body), BodyTag: tag,
+			})
+			return
+		}
 	}
 	ctx.Write(msg)
 }
@@ -389,6 +404,17 @@ func (h *optInbound) ChannelRead(ctx *netty.Context, msg any) {
 			ctx.SetVT(vtime.Max(ctx.VT(), status.VT))
 			ctx.FireChannelRead(&rpc.StreamResponse{
 				StreamID: m.StreamID, Body: data, BodySize: len(data),
+			})
+			return
+		}
+	case *rpc.BlockBatchChunk:
+		if m.BodyViaMPI && ready {
+			data, status := r.h.Recv(r.rank, m.BodyTag, ctx.VT())
+			ctx.SetVT(vtime.Max(ctx.VT(), status.VT))
+			ctx.FireChannelRead(&rpc.BlockBatchChunk{
+				BatchID: m.BatchID, Index: m.Index,
+				Total: m.Total, Offset: m.Offset,
+				Body: data, BodySize: len(data),
 			})
 			return
 		}

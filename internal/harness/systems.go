@@ -13,6 +13,7 @@ import (
 
 	"mpi4spark/internal/core"
 	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/mpi"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/deploy"
 	"mpi4spark/internal/spark/rpc"
@@ -157,6 +158,16 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 		design := core.DesignOptimized
 		if spec.Backend == spark.BackendMPIBasic {
 			design = core.DesignBasic
+		}
+		// Batched-fetch reply chunks map one-to-one onto MPI messages
+		// (§IV-E). For the Optimized design, cap them at the eager
+		// threshold: eager chunks fly without the rendezvous RTS/CTS
+		// handshake that would otherwise stall each block until the
+		// receiver matches its Recv. The Basic design keeps large chunks:
+		// its Iprobe-polling selector pays per-message overhead, so fewer,
+		// bigger messages win even with the handshake.
+		if design == core.DesignOptimized {
+			sparkCfg.ShuffleChunkBytes = mpi.DefaultEagerThreshold
 		}
 		cl, err := core.LaunchMPICluster(core.ClusterConfig{
 			Fabric:                f,

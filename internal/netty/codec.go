@@ -22,13 +22,15 @@ func (e *FrameEncoder) Write(ctx *Context, msg any) {
 		panic(fmt.Sprintf("netty: FrameEncoder expects *bytebuf.Buf, got %T", msg))
 	}
 	n := body.ReadableBytes()
-	framed := bytebuf.New(4 + n)
+	framed := bytebuf.Get(4 + n)
 	framed.WriteUint32(uint32(n))
 	framed.WriteBytes(body.Readable())
 	if e.EncodeNsPerByte > 0 {
 		ctx.Advance(vtimeNs(e.EncodeNsPerByte * float64(n)))
 	}
 	ctx.Write(framed)
+	// Transports copy on WriteMsg, so the pooled frame goes straight back.
+	framed.Release()
 }
 
 // FrameDecoder is an inbound handler that validates and strips the uint32

@@ -68,6 +68,11 @@ type sinkTransport struct {
 }
 
 func (s *sinkTransport) WriteMsg(msg any, vt vtime.Stamp) vtime.Stamp {
+	// Real transports consume buffer contents before returning (the writer
+	// may release pooled buffers right after Write), so copy here too.
+	if buf, ok := msg.(*bytebuf.Buf); ok {
+		msg = bytebuf.Wrap(buf.Bytes())
+	}
 	s.mu.Lock()
 	s.msgs = append(s.msgs, msg)
 	s.mu.Unlock()

@@ -165,12 +165,26 @@ func (StringKey) Less(a, b string) bool { return a < b }
 
 // EncodePairs serializes a record batch: a count followed by the records.
 func EncodePairs[K, V any](codec PairCodec[K, V], pairs []Pair[K, V]) []byte {
-	buf := bytebuf.New(16 * len(pairs))
+	return EncodePairsHint(codec, pairs, 0)
+}
+
+// EncodePairsHint is EncodePairs with a workspace size hint in bytes,
+// typically learned from the previous batch's encoded size. The encode
+// workspace comes from the buffer pool; an accurate hint avoids every
+// mid-encode growth reallocation, leaving one exact-size allocation for
+// the returned batch.
+func EncodePairsHint[K, V any](codec PairCodec[K, V], pairs []Pair[K, V], hint int) []byte {
+	if hint <= 0 {
+		hint = 4 + 16*len(pairs)
+	}
+	buf := bytebuf.Get(hint)
 	buf.WriteUint32(uint32(len(pairs)))
 	for _, p := range pairs {
 		codec.Encode(buf, p)
 	}
-	return buf.Bytes()
+	out := buf.Bytes()
+	buf.Release()
+	return out
 }
 
 // DecodePairs parses a record batch produced by EncodePairs.

@@ -1,0 +1,76 @@
+package spark
+
+import (
+	"fmt"
+	"testing"
+
+	"mpi4spark/internal/bytebuf"
+)
+
+func benchPairs(n int) []Pair[string, []byte] {
+	pairs := make([]Pair[string, []byte], n)
+	for i := range pairs {
+		pairs[i] = Pair[string, []byte]{
+			K: fmt.Sprintf("key-%06d", i),
+			V: make([]byte, 100),
+		}
+	}
+	return pairs
+}
+
+// encodePairsUnpooled is the pre-pooling encoder: a fresh zero-capacity
+// buffer that reallocates as it grows. Kept as the benchmark baseline.
+func encodePairsUnpooled[K, V any](codec PairCodec[K, V], pairs []Pair[K, V]) []byte {
+	buf := bytebuf.New(0)
+	buf.WriteUint32(uint32(len(pairs)))
+	for _, p := range pairs {
+		codec.Encode(buf, p)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkEncodePairs compares the pooled, size-hinted encoder against
+// the unpooled baseline it replaced. The pooled path with a learned hint
+// should show fewer allocs/op: one output copy instead of a realloc
+// ladder.
+func BenchmarkEncodePairs(b *testing.B) {
+	codec := PairCodec[string, []byte]{Key: StringCodec{}, Val: BytesCodec{}}
+	pairs := benchPairs(2000)
+	hint := len(EncodePairs(codec, pairs)) // a learned hint from the previous batch
+
+	b.Run("unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			encodePairsUnpooled(codec, pairs)
+		}
+	})
+	b.Run("pooled-hint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EncodePairsHint(codec, pairs, hint)
+		}
+	})
+}
+
+// TestEncodePairsPooledFewerAllocs pins the benchmark's claim as a
+// regression test: the pooled size-hinted path must allocate strictly
+// less than the unpooled baseline.
+func TestEncodePairsPooledFewerAllocs(t *testing.T) {
+	codec := PairCodec[string, []byte]{Key: StringCodec{}, Val: BytesCodec{}}
+	pairs := benchPairs(2000)
+	want := EncodePairs(codec, pairs)
+	hint := len(want)
+
+	unpooled := testing.AllocsPerRun(20, func() {
+		encodePairsUnpooled(codec, pairs)
+	})
+	pooled := testing.AllocsPerRun(20, func() {
+		EncodePairsHint(codec, pairs, hint)
+	})
+	if pooled >= unpooled {
+		t.Fatalf("pooled allocs/op = %.0f, unpooled = %.0f; pooling should allocate less", pooled, unpooled)
+	}
+	if got := EncodePairsHint(codec, pairs, hint); string(got) != string(want) {
+		t.Fatal("pooled encoding differs from baseline")
+	}
+}

@@ -43,6 +43,15 @@ type Config struct {
 	// time; blocks arriving later count as timeouts and are retried
 	// (0 disables).
 	ShuffleFetchDeadline time.Duration
+	// ShuffleChunkBytes bounds one reply chunk of a batched shuffle fetch
+	// (spark.maxRemoteBlockSizeFetchToMem-flavored chunking; default
+	// 1 MiB). On the MPI designs each chunk maps to one eager or
+	// rendezvous MPI message.
+	ShuffleChunkBytes int
+	// ShuffleMaxBytesInFlight bounds the declared bytes of outstanding
+	// batched fetch requests per reduce task
+	// (spark.reducer.maxBytesInFlight; default 48 MiB).
+	ShuffleMaxBytesInFlight int64
 }
 
 // DefaultConfig returns a reasonable configuration.
@@ -58,6 +67,9 @@ func DefaultConfig() Config {
 		ShuffleMaxRetries:    retry.MaxRetries,
 		ShuffleRetryWait:     retry.RetryWait,
 		ShuffleFetchDeadline: retry.FetchDeadline,
+
+		ShuffleChunkBytes:       shuffle.DefaultChunkBytes,
+		ShuffleMaxBytesInFlight: shuffle.DefaultMaxBytesInFlight,
 	}
 }
 
@@ -172,6 +184,12 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 		cfg.ShuffleMaxRetries = retry.MaxRetries
 		cfg.ShuffleRetryWait = retry.RetryWait
 		cfg.ShuffleFetchDeadline = retry.FetchDeadline
+	}
+	if cfg.ShuffleChunkBytes <= 0 {
+		cfg.ShuffleChunkBytes = shuffle.DefaultChunkBytes
+	}
+	if cfg.ShuffleMaxBytesInFlight <= 0 {
+		cfg.ShuffleMaxBytesInFlight = shuffle.DefaultMaxBytesInFlight
 	}
 	if len(executors) == 0 {
 		return nil, fmt.Errorf("spark: context needs at least one executor")

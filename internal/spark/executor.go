@@ -175,6 +175,8 @@ func (e *Executor) Attach(ctx *Context) error {
 	e.ctx = ctx
 	e.tracker = shuffle.NewTrackerClient(e.env, ctx.driver.Addr())
 	e.sm.Retry = ctx.shuffleRetryPolicy()
+	e.sm.ChunkBytes = ctx.cfg.ShuffleChunkBytes
+	e.sm.MaxBytesInFlight = ctx.cfg.ShuffleMaxBytesInFlight
 	return e.env.RegisterEndpoint(ExecutorEndpoint, func(c *rpc.Call) {
 		if len(c.Payload) < 8 {
 			return

@@ -29,6 +29,7 @@ func partitionWrite[K, V any](conf ShuffleConf[K, V], p Partitioner[K], combine 
 		tc.ChargeRecords(len(pairs), 0)
 		out := make([][]byte, n)
 		var bytes int
+		perRec := 0 // encoded bytes per record, learned from the previous bucket
 		for i, b := range buckets {
 			if combine != nil {
 				b = combine(tc, b)
@@ -36,8 +37,13 @@ func partitionWrite[K, V any](conf ShuffleConf[K, V], p Partitioner[K], combine 
 			if len(b) == 0 {
 				continue
 			}
-			out[i] = EncodePairs(conf.Codec, b)
+			hint := 0
+			if perRec > 0 {
+				hint = 4 + perRec*(len(b)+1)
+			}
+			out[i] = EncodePairsHint(conf.Codec, b, hint)
 			bytes += len(out[i])
+			perRec = len(out[i]) / len(b)
 		}
 		// Serialization cost for the written shuffle data.
 		tc.Charge(time.Duration(tc.cpu.NsPerByte * float64(bytes)))
@@ -45,12 +51,14 @@ func partitionWrite[K, V any](conf ShuffleConf[K, V], p Partitioner[K], combine 
 	}
 }
 
-// fetchDecode reads and deserializes all batches for a reduce partition.
+// fetchDecode reads and deserializes all batches for a reduce partition,
+// returning fetched pooled buffers once every batch has been decoded.
 func fetchDecode[K, V any](conf ShuffleConf[K, V], dep *ShuffleDep, reduceID int, tc *TaskContext) ([]Pair[K, V], error) {
-	blocks, err := tc.FetchShuffle(dep.shuffleID, reduceID)
+	blocks, release, err := tc.FetchShuffle(dep.shuffleID, reduceID)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	var out []Pair[K, V]
 	var bytes int
 	for _, b := range blocks {

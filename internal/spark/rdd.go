@@ -102,28 +102,40 @@ func (tc *TaskContext) BytesShuffled() int64 { return tc.bytesShuffled }
 
 // FetchShuffle retrieves every map output block destined for reduceID in
 // the given shuffle, advancing the task clock to the arrival of the last
-// block. It returns the raw serialized batches in map-id order.
-func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([][]byte, error) {
+// block. It returns the raw serialized batches in map-id order plus a
+// release function returning any pooled buffers backing them; the caller
+// must invoke it (once) after consuming the data and must not touch the
+// blocks afterwards. release is never nil.
+func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([][]byte, func(), error) {
 	e := tc.exec
 	statuses, vt, err := e.tracker.GetOutputs(shuffleID, tc.vt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tc.Observe(vt)
 	start := tc.vt
 	results, vt2, err := e.sm.FetchShuffleParts(shuffleID, reduceID, statuses, e.id, e.bts, tc.vt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tc.Observe(vt2)
 	tc.shuffleReadVT = tc.vt
 	tc.shuffleWaitDur += tc.vt - start
 	out := make([][]byte, len(results))
+	var releases []func()
 	for i, r := range results {
 		out[i] = r.Data
 		tc.bytesShuffled += int64(len(r.Data))
+		if r.Release != nil {
+			releases = append(releases, r.Release)
+		}
 	}
-	return out, nil
+	release := func() {
+		for _, f := range releases {
+			f()
+		}
+	}
+	return out, release, nil
 }
 
 // Dependency is an edge in the RDD lineage graph.

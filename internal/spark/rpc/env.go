@@ -9,9 +9,14 @@ import (
 
 	"mpi4spark/internal/bytebuf"
 	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/netty"
 	"mpi4spark/internal/vtime"
 )
+
+// DefaultBatchChunkBytes bounds a BlockBatchChunk body when the requester
+// does not specify a chunk size.
+const DefaultBatchChunkBytes = 1 << 20
 
 // ErrShutdown is returned for operations on a stopped environment.
 var ErrShutdown = errors.New("rpc: environment shut down")
@@ -128,6 +133,9 @@ type Env struct {
 	conns         map[string]*clientConn
 	pending       map[int64]*pendingAsk
 	streamPending map[string][]*pendingAsk
+	batches       map[int64]*pendingBatch
+	serveQ        []*batchServe
+	pumping       bool
 	closed        bool
 
 	reqSeq atomic.Int64
@@ -154,6 +162,7 @@ func NewEnv(name string, node *fabric.Node, port string, cfg EnvConfig) (*Env, e
 		endpoints: make(map[string]*endpoint),
 		conns:     make(map[string]*clientConn),
 		pending:   make(map[int64]*pendingAsk),
+		batches:   make(map[int64]*pendingBatch),
 	}
 	e.group = netty.NewEventLoopGroup(cfg.EventLoops, netty.LoopConfig{
 		ReadEventCost:     cfg.ReadEventCost,
@@ -220,7 +229,11 @@ func (h *messageEncoder) Write(ctx *netty.Context, msg any) {
 		ctx.Write(msg)
 		return
 	}
-	ctx.Write(EncodeToBuf(m))
+	buf := EncodeToBuf(m)
+	ctx.Write(buf)
+	// The write path is synchronous and every transport copies before
+	// returning, so the pooled encode buffer can go straight back.
+	buf.Release()
 }
 
 // messageDecoder parses frame bodies back into typed Messages.
@@ -237,6 +250,9 @@ func (h *messageDecoder) ChannelRead(ctx *netty.Context, msg any) {
 		return // corrupt frame: drop, as Spark's TransportChannelHandler logs-and-drops
 	}
 	ctx.FireChannelRead(m)
+	// Decode copies everything it keeps, so a pooled frame buffer can be
+	// recycled once dispatch returns (unpooled inbound wraps are a no-op).
+	buf.Release()
 }
 
 // dispatchHandler is the pipeline tail: it routes typed messages to
@@ -267,6 +283,10 @@ func (h *dispatchHandler) ChannelRead(ctx *netty.Context, msg any) {
 		e.serveChunk(ch, m, vt)
 	case *ChunkFetchSuccess:
 		e.resolveAsk(m.FetchID, askReply{data: m.Body, vt: vt})
+	case *FetchBlocksRequest:
+		e.serveBatch(ch, m, vt)
+	case *BlockBatchChunk:
+		e.resolveBatchChunk(m, vt)
 	case *StreamRequest:
 		e.serveStream(ch, m, vt)
 	case *StreamResponse:
@@ -310,6 +330,7 @@ func (e *Env) resolveAsk(id int64, r askReply) {
 func (e *Env) failChannel(ch *netty.Channel) {
 	err := fmt.Errorf("%w: channel %s", ErrConnectionLost, ch.ID())
 	var victims []chan askReply
+	var batchDone []chan struct{}
 	e.mu.Lock()
 	for id, p := range e.pending {
 		if p.ch == ch {
@@ -332,9 +353,22 @@ func (e *Env) failChannel(ch *netty.Channel) {
 			e.streamPending[sid] = keep
 		}
 	}
+	// A dead channel fails only the batch blocks still in flight on it;
+	// blocks that already landed keep their data, so a lost peer costs the
+	// batch remainder, not the whole batch.
+	for id, b := range e.batches {
+		if b.ch == ch {
+			delete(e.batches, id)
+			b.failRemaining(err)
+			batchDone = append(batchDone, b.done)
+		}
+	}
 	e.mu.Unlock()
 	for _, v := range victims {
 		v <- askReply{err: err}
+	}
+	for _, d := range batchDone {
+		close(d)
 	}
 }
 
@@ -377,6 +411,274 @@ func (e *Env) serveChunk(ch *netty.Channel, m *ChunkFetchRequest, vt vtime.Stamp
 		return
 	}
 	ch.Write(&ChunkFetchSuccess{FetchID: m.FetchID, BlockID: m.BlockID, Body: body}, svt)
+}
+
+// batchServe is the server-side streaming state of one FetchBlocksRequest:
+// the resolved block bodies plus a cursor marking the next chunk to emit.
+type batchServe struct {
+	ch         *netty.Channel
+	id         int64
+	chunkBytes int
+	bodies     [][]byte
+	found      []bool
+	cur        int // next block index
+	off        int // offset within the current block
+	vt         vtime.Stamp
+}
+
+// serveBatch answers a FetchBlocksRequest by streaming every requested
+// block back as bounded-size BlockBatchChunk messages. Blocks are resolved
+// at dispatch time, then the batch joins the environment's serve queue:
+// a single pump goroutine emits one chunk per queue turn, round-robin
+// across all active batches, so concurrent reducers' streams interleave on
+// the stream manager (as Netty's chunked streams interleave on the event
+// loop) instead of one batch monopolizing the NIC until done — burst-
+// serving whole batches FIFO starves whichever reducer is served last and
+// its straggling fetch bounds the stage. Each chunk is charged one
+// ChunkServeCost on the stream-manager clock; on the MPI designs each
+// chunk becomes one eager/rendezvous MPI message. A block the resolver
+// cannot find is reported as a single Missing chunk, failing only that
+// block.
+func (e *Env) serveBatch(ch *netty.Channel, m *FetchBlocksRequest, vt vtime.Stamp) {
+	e.mu.Lock()
+	resolver := e.chunkResolver
+	e.mu.Unlock()
+	chunkBytes := int(m.ChunkBytes)
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultBatchChunkBytes
+	}
+	b := &batchServe{
+		ch: ch, id: m.BatchID, chunkBytes: chunkBytes,
+		bodies: make([][]byte, len(m.BlockIDs)),
+		found:  make([]bool, len(m.BlockIDs)),
+		vt:     vt,
+	}
+	for i, id := range m.BlockIDs {
+		if resolver != nil {
+			b.bodies[i], b.found[i] = resolver(id)
+		}
+	}
+	if len(b.bodies) == 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.serveQ = append(e.serveQ, b)
+	start := !e.pumping
+	if start {
+		e.pumping = true
+	}
+	e.mu.Unlock()
+	if start {
+		go e.servePump()
+	}
+}
+
+// servePump drains the serve queue one chunk at a time, re-queueing
+// batches that still have chunks left. It exits when the queue is empty;
+// the next serveBatch restarts it.
+func (e *Env) servePump() {
+	for {
+		e.mu.Lock()
+		if len(e.serveQ) == 0 {
+			e.pumping = false
+			e.mu.Unlock()
+			return
+		}
+		b := e.serveQ[0]
+		e.serveQ = e.serveQ[1:]
+		e.mu.Unlock()
+		if e.serveNextChunk(b) {
+			e.mu.Lock()
+			e.serveQ = append(e.serveQ, b)
+			e.mu.Unlock()
+		}
+	}
+}
+
+// serveNextChunk emits batch b's next chunk and reports whether the batch
+// has more to send.
+func (e *Env) serveNextChunk(b *batchServe) bool {
+	i := b.cur
+	svt := e.chunkClock.ObserveAndAdvance(b.vt, e.cfg.ChunkServeCost)
+	if !b.found[i] {
+		b.ch.Write(&BlockBatchChunk{BatchID: b.id, Index: uint32(i), Missing: true}, svt)
+		b.cur++
+		b.off = 0
+		return b.cur < len(b.bodies)
+	}
+	body := b.bodies[i]
+	total := len(body)
+	end := b.off + b.chunkBytes
+	if end > total {
+		end = total
+	}
+	b.ch.Write(&BlockBatchChunk{
+		BatchID: b.id, Index: uint32(i),
+		Total: uint64(total), Offset: uint64(b.off),
+		Body: body[b.off:end],
+	}, svt)
+	b.off = end
+	if b.off >= total {
+		b.cur++
+		b.off = 0
+	}
+	return b.cur < len(b.bodies)
+}
+
+// batchBlock is the client-side reassembly state of one block in a batch.
+type batchBlock struct {
+	buf   *bytebuf.Buf // pooled; nil until the first chunk lands
+	got   uint64
+	total uint64
+	vt    vtime.Stamp
+	err   error
+	done  bool
+}
+
+// pendingBatch tracks one outstanding FetchBlocksRequest: the channel it
+// rides (so a channel death fails exactly its in-flight blocks) and the
+// per-block reassembly state.
+type pendingBatch struct {
+	ch        *netty.Channel
+	ids       []string
+	blocks    []batchBlock
+	remaining int
+	done      chan struct{}
+}
+
+// failRemaining marks every not-yet-landed block failed. Caller holds
+// e.mu and closes b.done after unlocking.
+func (b *pendingBatch) failRemaining(err error) {
+	for i := range b.blocks {
+		blk := &b.blocks[i]
+		if !blk.done {
+			blk.err = err
+			blk.done = true
+			b.remaining--
+		}
+	}
+}
+
+// resolveBatchChunk folds one inbound chunk into its batch. Chunks of one
+// batch arrive in order on the batch's channel (the MPI-Optimized design
+// recvs each diverted body before firing the header onward), so
+// reassembly appends; Offset is carried for cross-checking only.
+func (e *Env) resolveBatchChunk(m *BlockBatchChunk, vt vtime.Stamp) {
+	metrics.GetCounter("shuffle.fetch.chunks").Inc()
+	var doneCh chan struct{}
+	e.mu.Lock()
+	b := e.batches[m.BatchID]
+	if b == nil || int(m.Index) >= len(b.blocks) {
+		e.mu.Unlock()
+		return // stale chunk of an aborted batch
+	}
+	blk := &b.blocks[m.Index]
+	if blk.done {
+		e.mu.Unlock()
+		return
+	}
+	if m.Missing {
+		blk.err = fmt.Errorf("block not found: %s", b.ids[m.Index])
+		blk.vt = vtime.Max(blk.vt, vt)
+		blk.done = true
+		b.remaining--
+	} else {
+		if blk.buf == nil {
+			blk.buf = bytebuf.Get(int(m.Total))
+			blk.total = m.Total
+		}
+		blk.buf.WriteBytes(m.Body)
+		blk.got += uint64(len(m.Body))
+		blk.vt = vtime.Max(blk.vt, vt)
+		if blk.got >= blk.total {
+			blk.done = true
+			b.remaining--
+		}
+	}
+	if b.remaining == 0 {
+		delete(e.batches, m.BatchID)
+		doneCh = b.done
+	}
+	e.mu.Unlock()
+	if doneCh != nil {
+		close(doneCh)
+	}
+}
+
+// BatchBlockResult is one block's outcome within a batched fetch: its
+// bytes (carved from the pool), the virtual time its last chunk arrived,
+// or a per-block error.
+type BatchBlockResult struct {
+	Data []byte
+	VT   vtime.Stamp
+	Err  error
+	buf  *bytebuf.Buf
+}
+
+// Release returns the block's pooled reassembly buffer. Data must not be
+// used afterwards. Safe to call on failed or already-released results.
+func (r *BatchBlockResult) Release() {
+	if r.buf != nil {
+		b := r.buf
+		r.buf = nil
+		r.Data = nil
+		b.Release()
+	}
+}
+
+// FetchBlockBatch fetches a batch of blocks from the peer's resolver in
+// one round-trip using the FetchBlocksRequest/BlockBatchChunk pair. It
+// blocks until every block has landed or failed and returns per-block
+// results (index-aligned with blockIDs) plus the batch completion time.
+// The top-level error covers only request-side failures (shutdown,
+// connect); per-block failures — missing blocks, a peer dying mid-batch —
+// are reported in the results so landed siblings survive.
+func (e *Env) FetchBlockBatch(peer fabric.Addr, blockIDs []string, chunkBytes int, at vtime.Stamp) ([]BatchBlockResult, vtime.Stamp, error) {
+	if len(blockIDs) == 0 {
+		return nil, at, nil
+	}
+	ch, vt, err := e.connTo(peer, at)
+	if err != nil {
+		return nil, at, err
+	}
+	id := e.reqSeq.Add(1)
+	b := &pendingBatch{
+		ch:        ch,
+		ids:       blockIDs,
+		blocks:    make([]batchBlock, len(blockIDs)),
+		remaining: len(blockIDs),
+		done:      make(chan struct{}),
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, at, ErrShutdown
+	}
+	e.batches[id] = b
+	e.mu.Unlock()
+	ch.Write(&FetchBlocksRequest{BatchID: id, ChunkBytes: uint32(chunkBytes), BlockIDs: blockIDs}, vt)
+	e.checkChannelAlive(ch)
+	<-b.done
+	// After done closes the batch is unregistered: no goroutine mutates it.
+	out := make([]BatchBlockResult, len(blockIDs))
+	maxVT := at
+	for i := range b.blocks {
+		blk := &b.blocks[i]
+		r := BatchBlockResult{VT: vtime.Max(blk.vt, at), Err: blk.err}
+		if blk.err == nil && blk.buf != nil {
+			r.Data = blk.buf.Readable()
+			r.buf = blk.buf
+		}
+		if r.VT > maxVT {
+			maxVT = r.VT
+		}
+		out[i] = r
+	}
+	return out, maxVT, nil
 }
 
 func (e *Env) serveStream(ch *netty.Channel, m *StreamRequest, vt vtime.Stamp) {
@@ -602,8 +904,14 @@ func (e *Env) Shutdown() {
 	conns := e.conns
 	pending := e.pending
 	streams := e.streamPending
+	batches := e.batches
 	e.pending = make(map[int64]*pendingAsk)
 	e.streamPending = nil
+	e.batches = make(map[int64]*pendingBatch)
+	e.serveQ = nil // stop streaming; the pump exits on its next turn
+	for _, b := range batches {
+		b.failRemaining(ErrShutdown)
+	}
 	e.mu.Unlock()
 
 	for _, p := range pending {
@@ -613,6 +921,9 @@ func (e *Env) Shutdown() {
 		for _, w := range ws {
 			w.reply <- askReply{err: ErrShutdown}
 		}
+	}
+	for _, b := range batches {
+		close(b.done)
 	}
 	for _, ep := range eps {
 		ep.close()

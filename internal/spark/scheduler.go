@@ -9,9 +9,6 @@ import (
 	"mpi4spark/internal/vtime"
 )
 
-// debugTiming enables temporary completion-timing prints.
-var debugTiming = false
-
 // findShuffleDeps walks the lineage of final and returns every shuffle
 // dependency in topological order (parents before children), deduplicated.
 func findShuffleDeps(final rddBase) []*ShuffleDep {
@@ -347,9 +344,7 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 	for i := range tasks {
 		for {
 			comp := <-waitChans[i]
-			if debugTiming {
-				fmt.Printf("DBG task=%d exec=%s execVT=%v driverVT=%v\n", comp.taskID, comp.execID, comp.execVT, comp.driverVT)
-			}
+			metrics.GetCounter("scheduler.task.completions").Inc()
 			_, fetchFailed := shuffle.AsFetchFailed(comp.err)
 			if comp.err != nil && !fetchFailed && attempts[i] < c.cfg.MaxTaskAttempts-1 {
 				// Retry on a different executor, like Spark's

@@ -67,7 +67,7 @@ func (r *confRegistry) UCRServer(id string) (*ucr.Server, bool) {
 
 // newConfCluster builds n peers on distinct nodes wired with the given
 // transport. Remote fetches retry quickly so failure tests stay fast.
-func newConfCluster(t *testing.T, transport string, n int) *confCluster {
+func newConfCluster(t testing.TB, transport string, n int) *confCluster {
 	t.Helper()
 	f := fabric.New(fabric.NewIBHDRModel())
 	cl := &confCluster{fab: f}
@@ -137,7 +137,7 @@ func newConfCluster(t *testing.T, transport string, n int) *confCluster {
 // fetchGuarded runs FetchShuffleParts with a wall-clock hang guard: a
 // transport that swallows a failure instead of surfacing it would
 // otherwise block the suite for the full test timeout.
-func fetchGuarded(t *testing.T, p *confPeer, shuffleID, reduceID int, statuses []*shuffle.MapStatus, at vtime.Stamp) ([]shuffle.FetchResult, vtime.Stamp, error) {
+func fetchGuarded(t testing.TB, p *confPeer, shuffleID, reduceID int, statuses []*shuffle.MapStatus, at vtime.Stamp) ([]shuffle.FetchResult, vtime.Stamp, error) {
 	t.Helper()
 	type res struct {
 		results []shuffle.FetchResult

@@ -10,6 +10,15 @@ import (
 	"mpi4spark/internal/vtime"
 )
 
+// DefaultChunkBytes bounds one reply chunk of a batched fetch when the
+// manager is not configured (spark.Config.ShuffleChunkBytes).
+const DefaultChunkBytes = 1 << 20
+
+// DefaultMaxBytesInFlight bounds the total declared size of batched
+// requests in flight per reduce task, mirroring Spark's
+// spark.reducer.maxBytesInFlight default of 48 MiB.
+const DefaultMaxBytesInFlight = 48 << 20
+
 // Manager is the executor-side sort-shuffle manager: it writes map outputs
 // as per-reduce-partition blocks into the local block manager and reads
 // reduce inputs through the fetcher.
@@ -23,6 +32,12 @@ type Manager struct {
 	// Retry bounds remote fetches (retries, backoff, per-attempt
 	// deadline).
 	Retry RetryPolicy
+	// ChunkBytes bounds one reply chunk of a batched fetch.
+	ChunkBytes int
+	// MaxBytesInFlight bounds the declared bytes of outstanding batched
+	// requests per reduce task (a single batch larger than the budget is
+	// still allowed to fly alone).
+	MaxBytesInFlight int64
 }
 
 // NewManager creates a shuffle manager over the executor's block manager.
@@ -32,6 +47,8 @@ func NewManager(bm *storage.BlockManager) *Manager {
 		LocalReadCost:      2 * time.Microsecond,
 		LocalReadNsPerByte: 0.15,
 		Retry:              DefaultRetryPolicy(),
+		ChunkBytes:         DefaultChunkBytes,
+		MaxBytesInFlight:   DefaultMaxBytesInFlight,
 	}
 }
 
@@ -51,11 +68,18 @@ func (m *Manager) WriteMapOutput(shuffleID, mapID int, parts [][]byte, loc Locat
 type FetchResult struct {
 	MapID int
 	Data  []byte
+	// Release returns pooled memory backing Data (nil when the block is
+	// local or its transport does not pool). Data must not be used after.
+	Release func()
 }
 
-// maxInFlight bounds concurrent remote fetches per reduce task, like
-// spark.reducer.maxReqsInFlight bounds outstanding requests.
-const maxInFlight = 16
+// remoteBlock is one block of a per-peer batch.
+type remoteBlock struct {
+	mapID   int
+	blockID storage.BlockID
+	size    int64
+	loc     Location
+}
 
 // FetchShuffleParts retrieves every map output destined for reduceID:
 // local blocks straight from the block manager, remote blocks through bts.
@@ -63,9 +87,13 @@ const maxInFlight = 16
 // and the virtual time at which the last block is available — the shuffle
 // read time that dominates the paper's Job1-ResultStage.
 //
-// Remote fetches are retried per RetryPolicy. Once any block is declared
-// lost the fetch aborts early: no new fetches launch, in-flight fetches
-// skip their remaining retries, and the first failure — a
+// Remote blocks are grouped by serving executor and fetched as one batched
+// request per peer (Spark's OpenBlocks/FetchShuffleBlocks coalescing),
+// launched under the MaxBytesInFlight budget. Within a batch, failures are
+// per block: a failed block falls back to individually retried fetches per
+// RetryPolicy while its landed siblings keep their data. Once any block is
+// declared lost the fetch aborts early: no new batches launch, in-flight
+// work skips its remaining retries, and the first failure — a
 // *FetchFailedError naming the lost map output — is returned after every
 // outstanding goroutine has drained (no goroutine outlives the call).
 func (m *Manager) FetchShuffleParts(
@@ -93,21 +121,11 @@ func (m *Manager) FetchShuffleParts(
 	var mu sync.Mutex
 	var firstErr error
 	aborted := false
-	sem := make(chan struct{}, maxInFlight)
-	var wg sync.WaitGroup
 
 	observe := func(vt vtime.Stamp) {
 		mu.Lock()
 		if vt > maxVT {
 			maxVT = vt
-		}
-		mu.Unlock()
-	}
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			aborted = true
 		}
 		mu.Unlock()
 	}
@@ -117,6 +135,29 @@ func (m *Manager) FetchShuffleParts(
 		return aborted
 	}
 
+	// Budget gate: batches launch while their declared bytes fit in
+	// MaxBytesInFlight; an oversize batch flies once nothing else does.
+	budget := m.MaxBytesInFlight
+	if budget <= 0 {
+		budget = DefaultMaxBytesInFlight
+	}
+	var inFlight int64
+	budCond := sync.NewCond(&mu)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			aborted = true
+		}
+		mu.Unlock()
+		budCond.Broadcast()
+	}
+
+	// Pass 1: local reads, and remote blocks grouped by serving executor
+	// in first-appearance order (kept deterministic for the virtual-time
+	// schedule).
+	groups := make(map[string][]remoteBlock)
+	var peerOrder []string
 	for mapID, st := range statuses {
 		if abortedNow() {
 			break
@@ -138,31 +179,48 @@ func (m *Manager) FetchShuffleParts(
 			}
 			cost := m.LocalReadCost + time.Duration(m.LocalReadNsPerByte*float64(len(data)))
 			observe(at.Add(cost))
+			metrics.GetCounter("shuffle.fetch.bytes_local").Add(int64(len(data)))
 			results[mapID] = FetchResult{MapID: mapID, Data: data}
 			continue
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(mapID int, st *MapStatus) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if abortedNow() {
-				return
-			}
-			data, vt, err := m.fetchWithRetry(bts, st.Loc, blockID, at, abortedNow)
-			if err != nil {
-				metrics.GetCounter("shuffle.fetch.failures").Inc()
-				fail(&FetchFailedError{
-					ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID, Loc: st.Loc,
-					Err: err,
-				})
-				return
-			}
-			observe(vt)
-			mu.Lock()
-			results[mapID] = FetchResult{MapID: mapID, Data: data}
+		if _, ok := groups[st.Loc.ExecID]; !ok {
+			peerOrder = append(peerOrder, st.Loc.ExecID)
+		}
+		groups[st.Loc.ExecID] = append(groups[st.Loc.ExecID], remoteBlock{
+			mapID: mapID, blockID: blockID, size: st.Sizes[reduceID], loc: st.Loc,
+		})
+	}
+
+	// Pass 2: one batched request per peer, admitted by the byte budget.
+	var wg sync.WaitGroup
+	for _, peer := range peerOrder {
+		blocks := groups[peer]
+		var batchBytes int64
+		for _, b := range blocks {
+			batchBytes += b.size
+		}
+		mu.Lock()
+		for !aborted && inFlight > 0 && inFlight+batchBytes > budget {
+			budCond.Wait()
+		}
+		if aborted {
 			mu.Unlock()
-		}(mapID, st)
+			break
+		}
+		inFlight += batchBytes
+		mu.Unlock()
+
+		wg.Add(1)
+		go func(blocks []remoteBlock, batchBytes int64) {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				inFlight -= batchBytes
+				mu.Unlock()
+				budCond.Broadcast()
+			}()
+			m.fetchBatch(shuffleID, reduceID, blocks, bts, at, results, observe, fail, abortedNow)
+		}(blocks, batchBytes)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -171,22 +229,99 @@ func (m *Manager) FetchShuffleParts(
 	return results, maxVT, nil
 }
 
+// fetchBatch issues one peer's batched request and lands its blocks into
+// results, falling back to individually retried fetches for blocks the
+// batch lost.
+func (m *Manager) fetchBatch(
+	shuffleID, reduceID int,
+	blocks []remoteBlock,
+	bts BlockTransferService,
+	at vtime.Stamp,
+	results []FetchResult,
+	observe func(vtime.Stamp),
+	fail func(error),
+	abortedNow func() bool,
+) {
+	if abortedNow() {
+		return
+	}
+	ids := make([]storage.BlockID, len(blocks))
+	for i, b := range blocks {
+		ids[i] = b.blockID
+	}
+	metrics.GetCounter("shuffle.fetch.requests").Inc()
+	metrics.GetCounter("shuffle.fetch.batched_blocks").Add(int64(len(blocks)))
+	rs, _, err := bts.FetchBatch(blocks[0].loc, ids, m.ChunkBytes, at)
+	if err != nil {
+		// Request never flew: every block takes the individual retry path.
+		rs = make([]BatchResult, len(blocks))
+		for i := range rs {
+			rs[i] = BatchResult{VT: at, Err: err}
+		}
+	}
+	for i, blk := range blocks {
+		if abortedNow() {
+			return
+		}
+		r := rs[i]
+		if r.Err == nil && m.Retry.FetchDeadline > 0 && r.VT > at.Add(m.Retry.FetchDeadline) {
+			// The block arrived past the attempt's budget: the real
+			// fetcher would have timed the request out and retried.
+			metrics.GetCounter("shuffle.fetch.timeouts").Inc()
+			if r.Release != nil {
+				r.Release()
+			}
+			r = BatchResult{
+				VT:  at.Add(m.Retry.FetchDeadline),
+				Err: fmt.Errorf("fetch %s from %s exceeded deadline %v", blk.blockID, blk.loc.ExecID, m.Retry.FetchDeadline),
+			}
+		}
+		if r.Err == nil {
+			observe(r.VT)
+			metrics.GetCounter("shuffle.fetch.bytes_remote").Add(int64(len(r.Data)))
+			results[blk.mapID] = FetchResult{MapID: blk.mapID, Data: r.Data, Release: r.Release}
+			continue
+		}
+		// Per-block fallback: the batch attempt counts as attempt zero, so
+		// the retry budget and backoff schedule match the unbatched path.
+		data, vt, err := m.fetchWithRetry(bts, blk.loc, blk.blockID, vtime.Max(at, r.VT), abortedNow, r.Err)
+		if err != nil {
+			metrics.GetCounter("shuffle.fetch.failures").Inc()
+			fail(&FetchFailedError{
+				ShuffleID: shuffleID, MapID: blk.mapID, ReduceID: reduceID, Loc: blk.loc,
+				Err: err,
+			})
+			return
+		}
+		observe(vt)
+		metrics.GetCounter("shuffle.fetch.bytes_remote").Add(int64(len(data)))
+		results[blk.mapID] = FetchResult{MapID: blk.mapID, Data: data}
+	}
+}
+
 // fetchWithRetry runs one block fetch under the manager's RetryPolicy.
 // Backoff and deadline accounting advance the attempt's virtual-time
 // stamp only — no wall-clock sleeping — so the schedule is deterministic.
-// giveUp short-circuits remaining retries once a sibling fetch has
-// already declared a block lost.
+// A non-nil prevErr records an attempt that already failed (the batched
+// request), so retrying starts at attempt one with its backoff. giveUp
+// short-circuits remaining retries once a sibling fetch has already
+// declared a block lost.
 func (m *Manager) fetchWithRetry(
 	bts BlockTransferService,
 	loc Location,
 	blockID storage.BlockID,
 	at vtime.Stamp,
 	giveUp func() bool,
+	prevErr error,
 ) ([]byte, vtime.Stamp, error) {
 	p := m.Retry
 	attemptAt := at
-	var lastErr error
-	for attempt := 0; ; attempt++ {
+	lastErr := prevErr
+	first := 0
+	if prevErr != nil {
+		first = 1
+	}
+	for attempt := first; ; attempt++ {
 		if attempt > 0 {
 			if attempt > p.MaxRetries || giveUp() {
 				break
@@ -195,6 +330,7 @@ func (m *Manager) fetchWithRetry(
 			attemptAt = attemptAt.Add(p.backoff(attempt))
 			metrics.GetCounter("shuffle.fetch.retries").Inc()
 		}
+		metrics.GetCounter("shuffle.fetch.requests").Inc()
 		data, vt, err := bts.Fetch(loc, blockID, attemptAt)
 		if err != nil {
 			lastErr = err

@@ -235,12 +235,16 @@ func NewTrackerClient(env *rpc.Env, driver fabric.Addr) *TrackerClient {
 }
 
 // GetOutputs returns a shuffle's map statuses, fetching from the driver on
-// a cache miss.
+// a cache miss. Like MapOutputTracker.Outputs, callers receive their own
+// copy of the slice — handing out the cached slice by reference would let
+// one task's mutation (or an Invalidate racing a reader) corrupt every
+// other task's view.
 func (c *TrackerClient) GetOutputs(shuffleID int, at vtime.Stamp) ([]*MapStatus, vtime.Stamp, error) {
 	c.mu.Lock()
 	if ss, ok := c.cache[shuffleID]; ok {
+		out := append([]*MapStatus(nil), ss...)
 		c.mu.Unlock()
-		return ss, at, nil
+		return out, at, nil
 	}
 	c.mu.Unlock()
 	data, vt, err := c.env.Ask(c.driver, TrackerEndpoint, []byte(fmt.Sprint(shuffleID)), at)
@@ -257,7 +261,7 @@ func (c *TrackerClient) GetOutputs(shuffleID int, at vtime.Stamp) ([]*MapStatus,
 	c.mu.Lock()
 	c.cache[shuffleID] = ss
 	c.mu.Unlock()
-	return ss, vt, nil
+	return append([]*MapStatus(nil), ss...), vt, nil
 }
 
 // Invalidate drops a cached shuffle (used when a stage is retried).

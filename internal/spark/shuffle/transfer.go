@@ -18,8 +18,43 @@ import (
 type BlockTransferService interface {
 	// Fetch retrieves blockID from the remote executor at loc.
 	Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([]byte, vtime.Stamp, error)
+	// FetchBatch retrieves a batch of blocks from one executor in a
+	// single request, streaming the reply in chunks of at most chunkBytes
+	// (transports with their own chunking, like UCR, may ignore the
+	// hint). Results are index-aligned with blockIDs; failures are per
+	// block so one lost block does not void its landed siblings. The
+	// returned error covers only request-level failures. Implementations
+	// without a native batch path can delegate to FetchBatchSerial.
+	FetchBatch(loc Location, blockIDs []storage.BlockID, chunkBytes int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error)
 	// Close releases connections.
 	Close()
+}
+
+// BatchResult is one block's outcome within a batched fetch.
+type BatchResult struct {
+	// Data is the block's bytes. It may alias pooled memory; call Release
+	// once the data has been consumed.
+	Data []byte
+	// VT is the virtual time the block's last chunk arrived.
+	VT vtime.Stamp
+	// Err is the block's failure, if any.
+	Err error
+	// Release returns pooled memory backing Data (nil when unpooled).
+	Release func()
+}
+
+// FetchBatchSerial is the default FetchBatch shim: one Fetch round-trip
+// per block, preserving pre-batching behavior for transports whose native
+// batch path has not landed.
+func FetchBatchSerial(bts BlockTransferService, loc Location, blockIDs []storage.BlockID, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error) {
+	results := make([]BatchResult, len(blockIDs))
+	maxVT := at
+	for i, id := range blockIDs {
+		data, vt, err := bts.Fetch(loc, id, at)
+		results[i] = BatchResult{Data: data, VT: vt, Err: err}
+		maxVT = vtime.Max(maxVT, vt)
+	}
+	return results, maxVT, nil
 }
 
 // NettyBTS fetches blocks with ChunkFetchRequest/Success messages over the
@@ -35,6 +70,26 @@ func NewNettyBTS(env *rpc.Env) *NettyBTS { return &NettyBTS{env: env} }
 // Fetch implements BlockTransferService.
 func (b *NettyBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
 	return b.env.FetchChunk(loc.Addr, string(blockID), at)
+}
+
+// FetchBatch implements BlockTransferService via the environment's
+// FetchBlocksRequest/BlockBatchChunk pair — one round-trip, chunked and
+// pipelined reply, pooled reassembly buffers.
+func (b *NettyBTS) FetchBatch(loc Location, blockIDs []storage.BlockID, chunkBytes int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error) {
+	ids := make([]string, len(blockIDs))
+	for i, id := range blockIDs {
+		ids[i] = string(id)
+	}
+	rs, vt, err := b.env.FetchBlockBatch(loc.Addr, ids, chunkBytes, at)
+	if err != nil {
+		return nil, vt, err
+	}
+	out := make([]BatchResult, len(rs))
+	for i := range rs {
+		r := &rs[i]
+		out[i] = BatchResult{Data: r.Data, VT: r.VT, Err: r.Err, Release: r.Release}
+	}
+	return out, vt, nil
 }
 
 // Close implements BlockTransferService (connections are owned by the env).
@@ -62,8 +117,9 @@ func NewUCRBTS(dev *rdma.Device, registry UCRServerRegistry) *UCRBTS {
 	return &UCRBTS{dev: dev, registry: registry, clients: make(map[string]*ucr.Client)}
 }
 
-// Fetch implements BlockTransferService.
-func (b *UCRBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+// client returns (establishing on demand) the connection to loc's server
+// and the virtual time it is usable.
+func (b *UCRBTS) client(loc Location, at vtime.Stamp) (*ucr.Client, vtime.Stamp, error) {
 	b.mu.Lock()
 	client, ok := b.clients[loc.ExecID]
 	b.mu.Unlock()
@@ -88,7 +144,40 @@ func (b *UCRBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([
 			b.mu.Unlock()
 		}
 	}
+	return client, vt, nil
+}
+
+// Fetch implements BlockTransferService.
+func (b *UCRBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	client, vt, err := b.client(loc, at)
+	if err != nil {
+		return nil, at, err
+	}
 	return client.FetchBlock(string(blockID), vt)
+}
+
+// FetchBatch implements BlockTransferService natively: all block requests
+// are posted on the connection up front and the reply streams drained in
+// order, pipelining the server's chunked service across the batch. The
+// chunkBytes hint is ignored — UCR chunks at its configured ChunkSize.
+func (b *UCRBTS) FetchBatch(loc Location, blockIDs []storage.BlockID, chunkBytes int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error) {
+	client, vt, err := b.client(loc, at)
+	if err != nil {
+		return nil, at, err
+	}
+	ids := make([]string, len(blockIDs))
+	for i, id := range blockIDs {
+		ids[i] = string(id)
+	}
+	rs, maxVT, err := client.FetchBlocks(ids, vt)
+	if err != nil {
+		return nil, maxVT, err
+	}
+	out := make([]BatchResult, len(rs))
+	for i, r := range rs {
+		out[i] = BatchResult{Data: r.Data, VT: r.VT, Err: r.Err}
+	}
+	return out, maxVT, nil
 }
 
 // Close implements BlockTransferService.

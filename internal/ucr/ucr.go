@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/rdma"
 	"mpi4spark/internal/vtime"
 )
@@ -265,6 +266,79 @@ func (c *Client) FetchBlock(blockID string, at vtime.Stamp) ([]byte, vtime.Stamp
 			return out, vt, nil
 		}
 	}
+}
+
+// BlockResult is one block's outcome within a batched fetch.
+type BlockResult struct {
+	Data []byte
+	VT   vtime.Stamp
+	Err  error
+}
+
+// FetchBlocks retrieves a batch of blocks over one connection round-trip:
+// all requests are posted up front, then the reply streams are drained in
+// request order. The server's per-connection service loop handles the
+// requests back-to-back, so its chunk service for block i+1 pipelines
+// with the client-side drain of block i instead of waiting a round-trip
+// per block. Failures are per block: a missing block fails only its slot.
+func (c *Client) FetchBlocks(blockIDs []string, at vtime.Stamp) ([]BlockResult, vtime.Stamp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	results := make([]BlockResult, len(blockIDs))
+	maxVT := at
+	posted := 0
+	for _, id := range blockIDs {
+		if _, err := c.qp.PostSend([]byte(id), at); err != nil {
+			// Requests that never left fail in place; any posted ones are
+			// still drained below so the stream stays in sync.
+			for i := posted; i < len(blockIDs); i++ {
+				results[i] = BlockResult{VT: at, Err: err}
+			}
+			break
+		}
+		posted++
+	}
+	for i := 0; i < posted; i++ {
+		var out []byte
+		var got uint64
+		vt := at
+		for {
+			comp, err := c.qp.CQ().Wait()
+			if err != nil {
+				// Connection death mid-batch: this and every remaining
+				// block is lost; landed siblings keep their data.
+				for j := i; j < posted; j++ {
+					results[j] = BlockResult{VT: vt, Err: err}
+				}
+				return results, vtime.Max(maxVT, vt), nil
+			}
+			if comp.Op != "recv" {
+				continue
+			}
+			metrics.GetCounter("shuffle.fetch.chunks").Inc()
+			total, off, n, err := decodeChunkHeader(comp.Data)
+			if err != nil {
+				results[i] = BlockResult{VT: vt, Err: err}
+				break
+			}
+			vt = vtime.Max(vt, comp.VT)
+			if total == ^uint64(0) {
+				results[i] = BlockResult{VT: vt, Err: fmt.Errorf("%w: %s", ErrNotFound, blockIDs[i])}
+				break
+			}
+			if out == nil {
+				out = make([]byte, total)
+			}
+			copy(out[off:], comp.Data[chunkHeaderLen:chunkHeaderLen+int(n)])
+			got += uint64(n)
+			if got >= total {
+				results[i] = BlockResult{Data: out, VT: vt}
+				break
+			}
+		}
+		maxVT = vtime.Max(maxVT, vt)
+	}
+	return results, maxVT, nil
 }
 
 // Close tears down the client's connection.
