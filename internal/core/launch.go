@@ -48,17 +48,49 @@ type MPICluster struct {
 	DriverEnv *rpc.Env
 	MasterEnv *rpc.Env
 
-	envs   []*rpc.Env
-	states []*EnvState
-	mu     sync.Mutex
+	envs    []*rpc.Env
+	states  []*EnvState
+	mu      sync.Mutex
+	seats   map[string]*execSeat // current executor id -> its DPM seat
+	spawned []*spark.Executor    // respawned replacements (Executors keeps the initial set)
 }
+
+// execSeat records what LaunchMPICluster knew when it spawned one
+// executor rank, so a replacement can be respawned into the same seat. A
+// respawn reuses the seat's MPI identity — the dead process's rank in the
+// DPM communicator — because peers resolve routes by (kind, rank): a
+// replacement under a fresh singleton spawn would be unreachable at the
+// old rank. Channel handshakes allocate fresh tags, so messages queued
+// for the dead process are never matched by the replacement.
+type execSeat struct {
+	idx     int
+	node    *fabric.Node
+	id      *Identity
+	slots   int
+	inflate func() float64
+	attempt int
+}
+
+// maxRespawnAttempts caps replacements per seat (Spark standalone's
+// relaunch cap has the same role): a seat whose replacements keep dying
+// stops consuming spawns.
+const maxRespawnAttempts = 10
 
 // States returns the per-environment MPI4Spark runtimes (diagnostics).
 func (c *MPICluster) States() []*EnvState { return c.states }
 
 // Close shuts every executor and environment down.
 func (c *MPICluster) Close() {
+	if c.Ctx != nil {
+		c.Ctx.Close()
+	}
 	for _, e := range c.Executors {
+		e.Close()
+	}
+	c.mu.Lock()
+	spawned := append([]*spark.Executor(nil), c.spawned...)
+	c.mu.Unlock()
+	for _, e := range spawned {
 		e.Close()
 	}
 	for _, env := range c.envs {
@@ -123,7 +155,7 @@ func LaunchMPICluster(cfg ClusterConfig) (*MPICluster, error) {
 	worldComm := world.InitWorld(nodes)
 	masterRank, driverRank := w, w+1
 
-	cluster := &MPICluster{World: world}
+	cluster := &MPICluster{World: world, seats: make(map[string]*execSeat)}
 	var launchMu sync.Mutex
 	var launchVT vtime.Stamp
 	observeLaunch := func(vt vtime.Stamp) {
@@ -157,14 +189,18 @@ func LaunchMPICluster(cfg ClusterConfig) (*MPICluster, error) {
 			f := cfg.BasicComputeInflation
 			inflate = func() float64 { return f }
 		}
+		slots := cfg.SlotsPerWorker / cfg.ExecutorsPerWorker
 		e := spark.NewExecutor(spark.ExecutorConfig{
 			ID:      fmt.Sprintf("exec-%d", execIdx),
 			Node:    node,
 			Env:     env,
-			Slots:   cfg.SlotsPerWorker / cfg.ExecutorsPerWorker,
+			Slots:   slots,
 			CPU:     cfg.CPU,
 			Inflate: inflate,
 		})
+		cluster.mu.Lock()
+		cluster.seats[e.ID()] = &execSeat{idx: execIdx, node: node, id: id, slots: slots, inflate: inflate}
+		cluster.mu.Unlock()
 		execCh <- e
 	}
 
@@ -279,7 +315,56 @@ func LaunchMPICluster(cfg ClusterConfig) (*MPICluster, error) {
 		cluster.Close()
 		return nil, fmt.Errorf("core: driver did not produce a SparkContext")
 	}
+	cluster.Ctx.SetExecutorReplacer(cluster.respawnReplacer(cfg))
 	// Virtual time is global: jobs begin after the launch completed.
 	cluster.Ctx.AdvanceClock(launchVT)
 	return cluster, nil
+}
+
+// respawnReplacer builds the MPI backends' executor replacement hook: the
+// paper's launcher owns process management through MPI DPM, so a lost
+// executor is respawned into its original DPM seat (same communicator
+// rank, same node, fresh RPC environment) after the spawn latency. The
+// respawn is refused when the seat's node itself is down — DPM cannot
+// place a process on a dead host.
+func (c *MPICluster) respawnReplacer(cfg ClusterConfig) spark.ExecutorReplacer {
+	return func(lost *spark.Executor, at vtime.Stamp) (*spark.Executor, vtime.Stamp, error) {
+		c.mu.Lock()
+		seat := c.seats[lost.ID()]
+		if seat == nil || seat.attempt >= maxRespawnAttempts {
+			c.mu.Unlock()
+			return nil, at, fmt.Errorf("core: no respawnable seat for executor %s", lost.ID())
+		}
+		if cfg.Fabric.Failed(seat.node.Name()) {
+			c.mu.Unlock()
+			return nil, at, fmt.Errorf("core: node %s hosting %s is down", seat.node.Name(), lost.ID())
+		}
+		seat.attempt++
+		attempt := seat.attempt
+		c.mu.Unlock()
+
+		name := fmt.Sprintf("exec-%d.%d", seat.idx, attempt)
+		startVT := at.Add(mpi.DefaultSpawnLatency)
+		env, st, err := NewMPIEnv(name, seat.node,
+			fmt.Sprintf("exec-rpc-%d.%d", seat.idx, attempt), seat.id, cfg.Design, cfg.Env)
+		if err != nil {
+			return nil, at, fmt.Errorf("core: respawning %s: %w", lost.ID(), err)
+		}
+		c.addEnv(env, st)
+		e := spark.NewExecutor(spark.ExecutorConfig{
+			ID:      name,
+			Node:    seat.node,
+			Env:     env,
+			Slots:   seat.slots,
+			CPU:     cfg.CPU,
+			Inflate: seat.inflate,
+			StartVT: startVT,
+		})
+		c.mu.Lock()
+		c.seats[name] = seat
+		delete(c.seats, lost.ID())
+		c.spawned = append(c.spawned, e)
+		c.mu.Unlock()
+		return e, startVT, nil
+	}
 }

@@ -10,6 +10,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"mpi4spark/internal/core"
 	"mpi4spark/internal/fabric"
@@ -95,6 +96,15 @@ type ClusterSpec struct {
 	UCR ucr.Config
 	// BasicComputeInflation overrides the Basic design's starvation factor.
 	BasicComputeInflation float64
+	// Supervise enables executor liveness supervision (heartbeats,
+	// ExecutorLost recovery, replacement) with the spark.Default* knobs.
+	// Benchmarks leave it off: heartbeat volume depends on wall-clock
+	// progress, which would perturb the deterministic timings.
+	Supervise bool
+	// HeartbeatInterval / ExecutorTimeout override the supervision knobs
+	// when Supervise is set (zero keeps the defaults).
+	HeartbeatInterval time.Duration
+	ExecutorTimeout   time.Duration
 }
 
 // BuildCluster constructs the cluster: standalone deploy for Vanilla and
@@ -132,6 +142,16 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 	sparkCfg.Name = fmt.Sprintf("%s-%s", spec.System.Name, spec.Backend)
 	sparkCfg.CPU = cpu
 	sparkCfg.DefaultParallelism = spec.Workers * slots
+	if spec.Supervise {
+		sparkCfg.HeartbeatInterval = spark.DefaultHeartbeatInterval
+		sparkCfg.ExecutorTimeout = spark.DefaultExecutorTimeout
+		if spec.HeartbeatInterval > 0 {
+			sparkCfg.HeartbeatInterval = spec.HeartbeatInterval
+		}
+		if spec.ExecutorTimeout > 0 {
+			sparkCfg.ExecutorTimeout = spec.ExecutorTimeout
+		}
+	}
 
 	switch spec.Backend {
 	case spark.BackendVanilla, spark.BackendRDMA:

@@ -11,7 +11,9 @@ package spark_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"mpi4spark/internal/core"
 	"mpi4spark/internal/fabric"
@@ -37,6 +39,13 @@ type chaosCluster struct {
 // backend, using the backend's real launch path.
 func newChaosCluster(t *testing.T, backend spark.Backend) *chaosCluster {
 	t.Helper()
+	return newChaosClusterCfg(t, backend, func(*spark.Config) {})
+}
+
+// newChaosClusterCfg is newChaosCluster with a config hook (the
+// supervision tests turn heartbeats on through it).
+func newChaosClusterCfg(t *testing.T, backend spark.Backend, tune func(*spark.Config)) *chaosCluster {
+	t.Helper()
 	f := fabric.New(fabric.NewIBHDRModel())
 	wn := make([]*fabric.Node, chaosWorkers)
 	for i := range wn {
@@ -47,6 +56,7 @@ func newChaosCluster(t *testing.T, backend spark.Backend) *chaosCluster {
 
 	cfg := spark.DefaultConfig()
 	cfg.DefaultParallelism = 2 * chaosWorkers
+	tune(&cfg)
 
 	cc := &chaosCluster{fab: f, workerNodes: wn}
 	switch backend {
@@ -241,7 +251,138 @@ func TestChaosStageAttemptsExhausted(t *testing.T) {
 	if !ok {
 		t.Fatalf("error is not a FetchFailedError: %v", err)
 	}
-	if ff.Loc.ExecID != "exec-1" {
-		t.Fatalf("FetchFailedError names %q, want exec-1 (err: %v)", ff.Loc.ExecID, err)
+	// Two detection orders are possible: a reduce task fetching against
+	// the dead node surfaces a transfer failure naming exec-1, or a task
+	// launch aimed at the dead node loses the executor first — proactively
+	// unregistering its outputs — and the reduce task then hits the
+	// metadata flavor (no location: nothing left to unregister). Both are
+	// typed fetch failures against the same shuffle.
+	if ff.Loc.ExecID != "exec-1" && ff.Loc.ExecID != "" {
+		t.Fatalf("FetchFailedError names %q, want exec-1 or a metadata failure (err: %v)", ff.Loc.ExecID, err)
+	}
+	if ff.ShuffleID != 1 {
+		t.Fatalf("FetchFailedError shuffle = %d, want 1 (err: %v)", ff.ShuffleID, err)
+	}
+}
+
+// superviseChaos turns heartbeats on with tight virtual knobs and a
+// generous missed-beat budget (timeout/interval = 15 pump rounds), so a
+// genuinely dead executor expires within a few wall-clock milliseconds
+// while a loaded -race run has ample slack before a live executor's
+// beats count as late.
+func superviseChaos(cfg *spark.Config) {
+	cfg.HeartbeatInterval = 2 * time.Millisecond
+	cfg.ExecutorTimeout = 30 * time.Millisecond
+}
+
+// TestChaosExecutorKillNarrowJob kills an executor process mid-stage
+// during a narrow-only (no shuffle) job on every backend. Nothing ever
+// fetches from the victim and a dead process sends no status update, so
+// the only loss signal is its heartbeat going silent: the driver must
+// expire it, fail its in-flight tasks over to the survivors, respawn a
+// replacement through the backend's own launch path (worker re-fork in
+// standalone, DPM seat respawn under the MPI launcher), and schedule
+// follow-up work across the restored cluster width.
+func TestChaosExecutorKillNarrowJob(t *testing.T) {
+	const nParts = 2 * chaosWorkers
+	for _, backend := range chaosBackends {
+		t.Run(backend.String(), func(t *testing.T) {
+			lostBefore := metrics.CounterValue("scheduler.executor.lost")
+			replacedBefore := metrics.CounterValue("scheduler.executor.replaced")
+			sentBefore := metrics.CounterValue("heartbeat.sent")
+			expiredBefore := metrics.CounterValue("heartbeat.expired")
+
+			cc := newChaosClusterCfg(t, backend, superviseChaos)
+			victim := cc.ctx.Executors()[1]
+
+			// The victim dies only once one of its tasks is actually on a
+			// slot, guaranteeing a mid-stage loss with in-flight work.
+			var startOnce sync.Once
+			started := make(chan struct{})
+			killed := make(chan struct{})
+			go func() {
+				<-started
+				victim.Kill()
+				close(killed)
+			}()
+
+			data := spark.Generate(cc.ctx, nParts, func(part int, tc *spark.TaskContext) []int64 {
+				if tc.ExecutorID() == victim.ID() {
+					startOnce.Do(func() { close(started) })
+					<-killed // hold the slot until the process dies
+				}
+				out := make([]int64, 50)
+				for i := range out {
+					out[i] = int64(part*50 + i)
+				}
+				tc.ChargeRecords(len(out), 8*len(out))
+				return out
+			})
+			sum, err := spark.Reduce(data, func(a, b int64) int64 { return a + b })
+			if err != nil {
+				t.Fatalf("narrow job did not survive the executor kill: %v", err)
+			}
+			n := int64(nParts * 50)
+			if want := n * (n - 1) / 2; sum != want {
+				t.Fatalf("sum = %d, want %d", sum, want)
+			}
+
+			if d := metrics.CounterValue("scheduler.executor.lost") - lostBefore; d < 1 {
+				t.Fatalf("scheduler.executor.lost delta = %d, want >= 1", d)
+			}
+			if d := metrics.CounterValue("scheduler.executor.replaced") - replacedBefore; d < 1 {
+				t.Fatalf("scheduler.executor.replaced delta = %d, want >= 1", d)
+			}
+			if d := metrics.CounterValue("heartbeat.sent") - sentBefore; d < 1 {
+				t.Fatalf("heartbeat.sent delta = %d, want >= 1", d)
+			}
+			if d := metrics.CounterValue("heartbeat.expired") - expiredBefore; d < 1 {
+				t.Fatalf("heartbeat.expired delta = %d, want >= 1", d)
+			}
+
+			// Replacement restored the cluster width in place.
+			execs := cc.ctx.Executors()
+			if len(execs) != chaosWorkers {
+				t.Fatalf("cluster width = %d executors, want %d", len(execs), chaosWorkers)
+			}
+			for _, e := range execs {
+				if e.ID() == victim.ID() {
+					t.Fatalf("victim %s still scheduled after replacement", victim.ID())
+				}
+			}
+
+			// Post-recovery scheduling spreads across the original width:
+			// the blacklist is per-process, and the replacement is healthy.
+			var mu sync.Mutex
+			seen := make(map[string]bool)
+			probe := spark.Generate(cc.ctx, nParts, func(part int, tc *spark.TaskContext) []int64 {
+				mu.Lock()
+				seen[tc.ExecutorID()] = true
+				mu.Unlock()
+				return []int64{1}
+			})
+			if _, err := spark.Count(probe); err != nil {
+				t.Fatalf("post-recovery job: %v", err)
+			}
+			if len(seen) != chaosWorkers {
+				t.Fatalf("post-recovery tasks ran on %d executors (%v), want %d", len(seen), seen, chaosWorkers)
+			}
+
+			// And a full shuffle round-trips through the replacement.
+			pairs := spark.Generate(cc.ctx, nParts, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+				out := make([]spark.Pair[int64, int64], 40)
+				for i := range out {
+					out[i] = spark.Pair[int64, int64]{K: int64(i % 10), V: int64(part + 1)}
+				}
+				tc.ChargeRecords(len(out), 16*len(out))
+				return out
+			})
+			summed := spark.ReduceByKey(pairs, chaosConf(nParts), func(a, b int64) int64 { return a + b })
+			out, err := spark.Collect(summed)
+			if err != nil {
+				t.Fatalf("post-recovery shuffle job: %v", err)
+			}
+			verifySums(t, out, nParts)
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpi4spark/internal/spark/rpc"
@@ -52,7 +53,29 @@ type Config struct {
 	// batched fetch requests per reduce task
 	// (spark.reducer.maxBytesInFlight; default 48 MiB).
 	ShuffleMaxBytesInFlight int64
+	// HeartbeatInterval is the virtual-time period of the executor →
+	// driver liveness heartbeat (spark.executor.heartbeatInterval). <= 0
+	// disables supervision entirely: executor loss is then detected only
+	// reactively — a LaunchTask or StatusUpdate send failing, or a fetch
+	// failure naming the executor. Heartbeat traffic shares the simulated
+	// NICs with job traffic and its volume depends on wall-clock progress,
+	// so benchmark configurations leave supervision off to keep timings
+	// bit-deterministic.
+	HeartbeatInterval time.Duration
+	// ExecutorTimeout is how long the driver lets heartbeats go missing
+	// before declaring an executor lost (spark.network.timeout flavored).
+	// Zero with supervision enabled defaults to 6*HeartbeatInterval.
+	ExecutorTimeout time.Duration
 }
+
+// Default supervision knobs, used by harness.BuildCluster and the examples
+// when they opt into executor liveness monitoring. They mirror Spark's
+// 10 s heartbeat against a 120 s network timeout, scaled to the
+// simulation's virtual-time magnitudes.
+const (
+	DefaultHeartbeatInterval = 10 * time.Millisecond
+	DefaultExecutorTimeout   = 60 * time.Millisecond
+)
 
 // DefaultConfig returns a reasonable configuration.
 func DefaultConfig() Config {
@@ -158,7 +181,18 @@ type Context struct {
 	doneShuffles map[int]bool
 	rrNext       int
 	bcast        *broadcastState
-	unhealthy    map[string]bool // executors that failed a launch
+	unhealthy    map[string]bool   // executors excluded from placement
+	runningOn    map[int64]string  // task id -> executor currently running it
+	lostExecs    map[string]bool   // executors already declared lost
+	replacer     ExecutorReplacer  // deployment hook forking replacements
+
+	// Supervision state (heartbeats + expiry); see supervisor.go.
+	hbMu      sync.Mutex
+	hb        map[string]*execHealth
+	pumpSeq   atomic.Int64
+	superStop chan struct{}
+	superDone chan struct{}
+	closeOnce sync.Once
 }
 
 // NewContext creates a SparkContext over a driver environment and a set of
@@ -191,6 +225,9 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 	if cfg.ShuffleMaxBytesInFlight <= 0 {
 		cfg.ShuffleMaxBytesInFlight = shuffle.DefaultMaxBytesInFlight
 	}
+	if cfg.HeartbeatInterval > 0 && cfg.ExecutorTimeout <= 0 {
+		cfg.ExecutorTimeout = 6 * cfg.HeartbeatInterval
+	}
 	if len(executors) == 0 {
 		return nil, fmt.Errorf("spark: context needs at least one executor")
 	}
@@ -205,6 +242,9 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 		cacheLocs:    make(map[cacheKey]string),
 		doneShuffles: make(map[int]bool),
 		unhealthy:    make(map[string]bool),
+		runningOn:    make(map[int64]string),
+		lostExecs:    make(map[string]bool),
+		hb:           make(map[string]*execHealth),
 	}
 	if err := shuffle.ServeTracker(driver, c.tracker); err != nil {
 		return nil, err
@@ -219,6 +259,7 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 		w := c.waiters[taskID]
 		delete(c.comps, taskID)
 		delete(c.waiters, taskID)
+		delete(c.runningOn, taskID)
 		c.mu.Unlock()
 		if comp == nil || w == nil {
 			return
@@ -229,19 +270,52 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 	if err != nil {
 		return nil, err
 	}
+	if err := driver.RegisterEndpoint(HeartbeatEndpoint, c.receiveHeartbeat); err != nil {
+		return nil, err
+	}
 	for _, e := range executors {
 		if err := e.Attach(c); err != nil {
 			return nil, err
 		}
 	}
+	if cfg.HeartbeatInterval > 0 {
+		c.superStop = make(chan struct{})
+		c.superDone = make(chan struct{})
+		go c.superviseLoop()
+	}
 	return c, nil
+}
+
+// Close stops the driver-side supervision loop (a no-op when supervision
+// is disabled). The deploy layers call it from their cluster Close; it
+// does not shut the executors or RPC environments down.
+func (c *Context) Close() {
+	c.closeOnce.Do(func() {
+		if c.superStop != nil {
+			close(c.superStop)
+			<-c.superDone
+		}
+	})
 }
 
 // Driver returns the driver's RPC environment.
 func (c *Context) Driver() *rpc.Env { return c.driver }
 
-// Executors returns the context's executors.
-func (c *Context) Executors() []*Executor { return c.executors }
+// Executors returns a snapshot of the context's executors. Replacement
+// swaps a respawned executor into the lost one's position, so the slice
+// contents can change across calls (its length never shrinks).
+func (c *Context) Executors() []*Executor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Executor(nil), c.executors...)
+}
+
+// executorCount returns the current cluster width.
+func (c *Context) executorCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.executors)
+}
 
 // Tracker returns the driver-side map output tracker.
 func (c *Context) Tracker() *shuffle.MapOutputTracker { return c.tracker }
@@ -284,6 +358,8 @@ func (c *Context) DefaultParallelism() int { return c.cfg.DefaultParallelism }
 
 // TotalSlots returns the cluster's total task slot count.
 func (c *Context) TotalSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, e := range c.executors {
 		n += e.nSlots
@@ -317,23 +393,18 @@ func (c *Context) storeCompletion(comp *completion) {
 	c.comps[comp.taskID] = comp
 }
 
-// deliverDirect hands a stored completion to its stage waiter in-process,
-// for when the executor cannot reach the driver with a StatusUpdate (its
-// node was failed mid-task). The real driver learns of such a loss from
-// its side of the dead connection; modeling that as a direct handoff keeps
-// the scheduler free of timeouts while preserving the failure itself.
-func (c *Context) deliverDirect(taskID int64, vt vtime.Stamp) {
+// noteTaskRunning records which executor a task was launched on, so an
+// executor-loss event can fail exactly its in-flight tasks.
+func (c *Context) noteTaskRunning(taskID int64, execID string) {
 	c.mu.Lock()
-	comp := c.comps[taskID]
-	w := c.waiters[taskID]
-	delete(c.comps, taskID)
-	delete(c.waiters, taskID)
-	c.mu.Unlock()
-	if comp == nil || w == nil {
-		return
-	}
-	comp.driverVT = vt
-	w <- comp
+	defer c.mu.Unlock()
+	c.runningOn[taskID] = execID
+}
+
+func (c *Context) clearTaskRunning(taskID int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.runningOn, taskID)
 }
 
 // shuffleRetryPolicy builds the fetch retry policy from the context's

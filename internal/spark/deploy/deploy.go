@@ -55,16 +55,40 @@ type Cluster struct {
 	Workers   []*rpc.Env
 
 	envs []*rpc.Env
+	// spawned holds every executor the workers ever forked, including
+	// replacements launched after a loss (Executors keeps the initial set).
+	spawned []*spark.Executor
 }
 
 // Close shuts everything down.
 func (c *Cluster) Close() {
-	for _, e := range c.Executors {
+	if c.Ctx != nil {
+		c.Ctx.Close()
+	}
+	for _, e := range c.spawned {
 		e.Close()
 	}
 	for _, env := range c.envs {
 		env.Shutdown()
 	}
+}
+
+// executorID qualifies the executor id with the worker's launch attempt:
+// the first fork keeps the classic exec-N name, while relaunches append
+// the attempt so a replacement never collides with its predecessor's id
+// or RPC port.
+func executorID(worker, attempt int) string {
+	if attempt == 0 {
+		return fmt.Sprintf("exec-%d", worker)
+	}
+	return fmt.Sprintf("exec-%d.%d", worker, attempt)
+}
+
+func executorPort(worker, attempt int) string {
+	if attempt == 0 {
+		return fmt.Sprintf("exec-rpc-%d", worker)
+	}
+	return fmt.Sprintf("exec-rpc-%d.%d", worker, attempt)
 }
 
 // ucrRegistry resolves UCR servers across the cluster's executors.
@@ -152,6 +176,11 @@ func StartCluster(cfg Config) (*Cluster, error) {
 	var execMu sync.Mutex
 	var executors []*spark.Executor
 	var launchVT vtime.Stamp
+	// Replacement bookkeeping: per-worker fork attempt counters, the
+	// worker each executor belongs to, and every forked executor by id.
+	attempts := make(map[int]int)
+	execWorker := make(map[string]fabric.Addr)
+	launched := make(map[string]*spark.Executor)
 	for i, node := range cfg.WorkerNodes {
 		wEnv, err := rpc.NewEnv(fmt.Sprintf("worker-%d", i), node, "worker-rpc", envCfg)
 		if err != nil {
@@ -166,13 +195,22 @@ func StartCluster(cfg Config) (*Cluster, error) {
 				c.Reply(nil, c.VT)
 				return
 			}
-			// Fork the executor process: new env on the same node.
-			execID := fmt.Sprintf("exec-%d", widx)
-			eEnv, err := rpc.NewEnv(execID, wNode, fmt.Sprintf("exec-rpc-%d", widx), envCfg)
+			// Fork the executor process: new env on the same node, with
+			// the id and port qualified by this worker's fork attempt so
+			// a relaunch never collides with a previous executor.
+			execMu.Lock()
+			attempt := attempts[widx]
+			attempts[widx]++
+			execMu.Unlock()
+			execID := executorID(widx, attempt)
+			eEnv, err := rpc.NewEnv(execID, wNode, executorPort(widx, attempt), envCfg)
 			if err != nil {
 				c.Reply([]byte("error:"+err.Error()), c.VT)
 				return
 			}
+			// Executor fork cost (JVM spin-up is far larger; this covers
+			// the process-management path).
+			forkedVT := c.VT.Add(2 * time.Millisecond)
 			e := spark.NewExecutor(spark.ExecutorConfig{
 				ID:          execID,
 				Node:        wNode,
@@ -182,6 +220,7 @@ func StartCluster(cfg Config) (*Cluster, error) {
 				UseUCR:      cfg.Backend == spark.BackendRDMA,
 				UCRRegistry: reg,
 				UCRConfig:   cfg.UCR,
+				StartVT:     forkedVT,
 			})
 			if cfg.Backend == spark.BackendRDMA {
 				reg.mu.Lock()
@@ -190,14 +229,15 @@ func StartCluster(cfg Config) (*Cluster, error) {
 			}
 			execMu.Lock()
 			executors = append(executors, e)
+			cl.spawned = append(cl.spawned, e)
 			cl.envs = append(cl.envs, eEnv)
+			execWorker[execID] = wEnv.Addr()
+			launched[execID] = e
 			if c.VT > launchVT {
 				launchVT = c.VT
 			}
 			execMu.Unlock()
-			// Executor fork cost (JVM spin-up is far larger; this covers
-			// the process-management path).
-			c.Reply([]byte("launched:"+execID), c.VT.Add(2*time.Millisecond))
+			c.Reply([]byte("launched:"+execID), forkedVT)
 		}); err != nil {
 			return fail(err)
 		}
@@ -245,6 +285,34 @@ func StartCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return fail(err)
 	}
+	// Replacement path: when the driver declares an executor lost, the
+	// master asks the worker that owned it to fork a fresh one — the same
+	// launch-executor command flow as the initial deployment. A worker
+	// whose node died refuses the dial, so the cluster simply stays at
+	// reduced width.
+	ctx.SetExecutorReplacer(func(lost *spark.Executor, at vtime.Stamp) (*spark.Executor, vtime.Stamp, error) {
+		execMu.Lock()
+		wAddr, ok := execWorker[lost.ID()]
+		execMu.Unlock()
+		if !ok {
+			return nil, at, fmt.Errorf("deploy: no worker owns executor %s", lost.ID())
+		}
+		data, lvt, err := masterEnv.Ask(wAddr, WorkerEndpoint, []byte("launch-executor"), at)
+		if err != nil {
+			return nil, at, fmt.Errorf("deploy: relaunching executor for %s: %w", lost.ID(), err)
+		}
+		reply := string(data)
+		if !strings.HasPrefix(reply, "launched:") {
+			return nil, at, fmt.Errorf("deploy: relaunch for %s failed: %s", lost.ID(), reply)
+		}
+		execMu.Lock()
+		repl := launched[strings.TrimPrefix(reply, "launched:")]
+		execMu.Unlock()
+		if repl == nil {
+			return nil, at, fmt.Errorf("deploy: relaunch for %s produced no executor", lost.ID())
+		}
+		return repl, lvt, nil
+	})
 	cl.Ctx = ctx
 	cl.Executors = execs
 	// Virtual time is global: jobs begin after deployment completed.

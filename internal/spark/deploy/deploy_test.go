@@ -117,3 +117,22 @@ func TestNodeFailureReroutesTasks(t *testing.T) {
 		t.Fatalf("second job failed: %v", err)
 	}
 }
+
+// TestRelaunchGetsAttemptQualifiedID is the executor ID/port collision
+// regression: asking a worker to fork a second executor must yield an
+// attempt-qualified identity (exec-0.1 on a fresh rpc port), never a
+// duplicate of the live exec-0.
+func TestRelaunchGetsAttemptQualifiedID(t *testing.T) {
+	cl, err := StartCluster(testConfig(2, spark.BackendVanilla))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	data, _, err := cl.MasterEnv.Ask(cl.Workers[0].Addr(), WorkerEndpoint, []byte("launch-executor"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "launched:exec-0.1" {
+		t.Fatalf("relaunch reply = %q, want launched:exec-0.1", got)
+	}
+}

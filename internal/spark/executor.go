@@ -3,9 +3,12 @@ package spark
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/rdma"
 	"mpi4spark/internal/spark/rpc"
 	"mpi4spark/internal/spark/shuffle"
@@ -86,6 +89,16 @@ type Executor struct {
 	cached  map[cacheKey]any
 
 	ctx *Context
+
+	// dead marks the executor process as killed: it stops heartbeating and
+	// nothing it computes escapes (see Kill).
+	dead atomic.Bool
+	// hbClock stamps outgoing heartbeats; it tracks the executor's task
+	// activity so heartbeat traffic never lags behind job traffic.
+	hbClock vtime.Clock
+
+	runningMu sync.Mutex
+	running   map[int64]struct{} // task ids currently executing
 }
 
 // ExecutorConfig configures NewExecutor.
@@ -102,6 +115,10 @@ type ExecutorConfig struct {
 	UCRConfig ucr.Config
 	// Inflate scales compute cost (nil means none).
 	Inflate func() float64
+	// StartVT is the virtual time the executor process came up (zero for
+	// cluster-launch executors; replacements start at their respawn time
+	// so their slots cannot run tasks before the process existed).
+	StartVT vtime.Stamp
 }
 
 // NewExecutor builds an executor around an existing RPC environment. Call
@@ -120,11 +137,15 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		cpu:     cfg.CPU,
 		inflate: cfg.Inflate,
 		cached:  make(map[cacheKey]any),
+		running: make(map[int64]struct{}),
 	}
 	e.sm = shuffle.NewManager(e.bm)
 	e.loc = shuffle.Location{ExecID: cfg.ID, Addr: cfg.Env.Addr()}
+	e.hbClock.Observe(cfg.StartVT)
 	for i := 0; i < cfg.Slots; i++ {
-		e.slots <- &slot{}
+		s := &slot{}
+		s.clock.Observe(cfg.StartVT)
+		e.slots <- s
 	}
 	e.env.RegisterChunkResolver(func(id string) ([]byte, bool) {
 		return e.bm.Get(storage.BlockID(id))
@@ -195,6 +216,16 @@ func (e *Executor) Attach(ctx *Context) error {
 // back to the driver.
 func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 	s := <-e.slots
+	if e.dead.Load() {
+		// The process died before the task started; the driver learns of
+		// the loss from the heartbeat expiry (or the failed launch send).
+		e.slots <- s
+		return
+	}
+	e.runningMu.Lock()
+	e.running[desc.id] = struct{}{}
+	e.runningMu.Unlock()
+	e.hbClock.Observe(launchVT)
 	start := vtime.Max(s.clock.Now(), launchVT)
 	tc := &TaskContext{
 		StageID:   desc.stage.id,
@@ -206,6 +237,15 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 	result, mapStatus, err := desc.run(tc)
 	s.clock.Observe(tc.vt)
 	e.slots <- s
+	e.runningMu.Lock()
+	delete(e.running, desc.id)
+	e.runningMu.Unlock()
+	e.hbClock.Observe(tc.vt)
+	if e.dead.Load() {
+		// The process died mid-task: nothing it computed escapes. The
+		// supervisor's heartbeat expiry fails the task driver-side.
+		return
+	}
 
 	comp := &completion{
 		taskID:    desc.id,
@@ -231,15 +271,62 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 	binary.BigEndian.PutUint64(payload[:8], uint64(desc.id))
 	payload = payload[:size]
 	if _, err := e.env.Send(e.ctx.driver.Addr(), SchedulerEndpoint, payload, tc.vt); err != nil {
+		if e.dead.Load() {
+			return
+		}
 		// Driver unreachable: this executor's node was failed mid-task.
-		// Overwrite any task error — including a FetchFailedError whose
-		// real cause is this executor's own death severing its
-		// connections — so the scheduler retries the task elsewhere
-		// instead of unregistering healthy map outputs, and hand the
-		// completion to the stage waiter directly (the StatusUpdate RPC
-		// can never arrive).
-		comp.err = fmt.Errorf("spark: executor %s lost: status update failed: %w", e.id, err)
-		e.ctx.deliverDirect(desc.id, tc.vt)
+		// Funnel into handleExecutorLost rather than surfacing the task's
+		// own error — which could be a FetchFailedError whose real cause
+		// is this executor's death severing its connections — so the
+		// scheduler retries the task elsewhere instead of unregistering
+		// healthy map outputs. The real driver learns of such a loss from
+		// its side of the dead connection; the in-process funnel is our
+		// stand-in and keeps the scheduler free of timeouts.
+		e.ctx.handleExecutorLost(e.id, tc.vt, fmt.Sprintf("status update failed: %v", err))
+	}
+}
+
+// pumpHeartbeat emits one liveness heartbeat to the driver, carrying slot
+// occupancy and the running task ids. The supervisor drives the pump in
+// wall-clock time; the heartbeat itself is stamped and costed in virtual
+// time like any other control message. A killed executor pumps nothing —
+// that silence is the loss signal.
+func (e *Executor) pumpHeartbeat(seq int64) {
+	if e.dead.Load() || e.ctx == nil {
+		return
+	}
+	e.runningMu.Lock()
+	ids := make([]int64, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	e.runningMu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	payload := encodeHeartbeat(heartbeat{
+		ExecID:    e.id,
+		Seq:       seq,
+		FreeSlots: len(e.slots),
+		Running:   ids,
+	})
+	if _, err := e.env.Send(e.ctx.driver.Addr(), HeartbeatEndpoint, payload, e.hbClock.Now()); err != nil {
+		return // unreachable driver: the missing beat is the signal
+	}
+	metrics.GetCounter("heartbeat.sent").Inc()
+}
+
+// Kill models the executor process dying (a JVM crash or OOM-kill): it
+// stops heartbeating, in-flight tasks die with it and never report, and
+// its RPC environment — including the shuffle blocks it was serving —
+// goes away. The node and its worker stay up, so the deployment can fork
+// a replacement there. This is the process-death counterpart to
+// fabric.FailNode, which takes the whole node down.
+func (e *Executor) Kill() {
+	if !e.dead.CompareAndSwap(false, true) {
+		return
+	}
+	e.env.Shutdown()
+	if e.ucrServer != nil {
+		e.ucrServer.Close()
 	}
 }
 

@@ -52,6 +52,14 @@ type TaskContext struct {
 // VT returns the task's current virtual time.
 func (tc *TaskContext) VT() vtime.Stamp { return tc.vt }
 
+// ExecutorID returns the id of the executor running this task.
+func (tc *TaskContext) ExecutorID() string {
+	if tc.exec == nil {
+		return ""
+	}
+	return tc.exec.id
+}
+
 // Observe advances the task clock to at least vt.
 func (tc *TaskContext) Observe(vt vtime.Stamp) {
 	if vt > tc.vt {

@@ -113,40 +113,20 @@ func (c *Context) tryRunJob(jobID int, deps []*ShuffleDep, final rddBase, result
 }
 
 // recoverFetchFailure reacts to a lost shuffle block the way the
-// DAGScheduler reacts to a FetchFailedException: blacklist the executor
-// the fetch was against, forget every map output it held (across all
-// shuffles — they are all unreachable now), and mark those shuffles
-// incomplete so the next job attempt resubmits exactly the missing map
-// tasks. Concurrent fetch failures from sibling reducers fold into one
-// recovery: the stage surfaces a single first failure, and an executor
-// already unregistered yields no new lost outputs on a repeat report.
+// DAGScheduler reacts to a FetchFailedException: the executor the fetch
+// was against is lost (blacklist, forget its map outputs, replace) via
+// the handleExecutorLost funnel, and the shuffle the failure was reported
+// against is marked incomplete so the next job attempt resubmits exactly
+// the missing map tasks. Concurrent fetch failures from sibling reducers
+// fold into one recovery: the stage surfaces a single first failure, and
+// an executor already declared lost yields no repeat recovery.
 func (c *Context) recoverFetchFailure(ff *shuffle.FetchFailedError) {
 	metrics.GetCounter("scheduler.fetch_failed").Inc()
-	affected := map[int]bool{ff.ShuffleID: true}
 	if ff.Loc.ExecID != "" {
-		c.markUnhealthy(ff.Loc.ExecID)
-		for shuffleID, lost := range c.tracker.UnregisterOutputsOnExecutor(ff.Loc.ExecID) {
-			if len(lost) > 0 {
-				affected[shuffleID] = true
-			}
-		}
+		c.handleExecutorLost(ff.Loc.ExecID, c.Clock(),
+			fmt.Sprintf("fetch failed against shuffle %d", ff.ShuffleID))
 	}
-	c.mu.Lock()
-	for shuffleID := range affected {
-		if c.doneShuffles[shuffleID] {
-			c.doneShuffles[shuffleID] = false
-			metrics.GetCounter("scheduler.map_stage.resubmissions").Inc()
-		}
-	}
-	c.mu.Unlock()
-	// Every executor's tracker cache may hold the dead locations
-	// (Spark bumps the tracker epoch; in-process invalidation is our
-	// stand-in).
-	for _, e := range c.executors {
-		for shuffleID := range affected {
-			e.tracker.Invalidate(shuffleID)
-		}
-	}
+	c.markShufflesIncomplete(map[int]bool{ff.ShuffleID: true})
 }
 
 // runShuffleMapStage executes the map side of one shuffle. On a first run
@@ -257,7 +237,9 @@ func (c *Context) runResultStage(jobID int, final rddBase, resultSize func(any) 
 // placeTask picks the executor for a task: its cache-locality preference
 // when available, round-robin otherwise. Executors in `exclude` (previous
 // failed attempts of this task) and executors marked unhealthy are skipped
-// when any alternative exists.
+// when any alternative exists. The blacklist is per-process, not per-seat:
+// a replacement swapped in for a lost executor arrives under a fresh id
+// and is placed like any healthy executor.
 func (c *Context) placeTask(t *taskDescriptor, exclude map[string]bool) *Executor {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -284,7 +266,8 @@ func (c *Context) placeTask(t *taskDescriptor, exclude map[string]bool) *Executo
 	return e
 }
 
-// markUnhealthy blacklists an executor after a failed launch.
+// markUnhealthy blacklists an executor without the full loss recovery
+// (tests use it to steer placement).
 func (c *Context) markUnhealthy(execID string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -310,19 +293,24 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 	c.mu.Unlock()
 
 	// launch sends one task's LaunchTask message, skipping unreachable
-	// executors (which get blacklisted) up to the cluster size.
+	// executors (which are declared lost) up to the cluster size.
 	launch := func(t *taskDescriptor, exclude map[string]bool, at vtime.Stamp) (vtime.Stamp, error) {
 		payload := make([]byte, c.cfg.TaskClosureBytes)
 		binary.BigEndian.PutUint64(payload[:8], uint64(t.id))
 		var lastErr error
-		for tries := 0; tries <= len(c.executors); tries++ {
+		for tries := 0; tries <= c.executorCount(); tries++ {
 			exec := c.placeTask(t, exclude)
+			// Record the owner before sending: were the executor declared
+			// lost between a successful send and the bookkeeping, the loss
+			// handler could otherwise miss this task and strand its waiter.
+			c.noteTaskRunning(t.id, exec.id)
 			free, err := c.driver.Send(exec.env.Addr(), ExecutorEndpoint, payload, at)
 			if err == nil {
 				return free, nil
 			}
+			c.clearTaskRunning(t.id)
 			lastErr = err
-			c.markUnhealthy(exec.id)
+			c.handleExecutorLost(exec.id, at, fmt.Sprintf("task launch failed: %v", err))
 		}
 		return at, fmt.Errorf("spark: launching task %d: %w", t.id, lastErr)
 	}
@@ -394,6 +382,7 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 	c.mu.Lock()
 	for _, t := range tasks {
 		delete(c.tasks, t.id)
+		delete(c.runningOn, t.id)
 	}
 	for _, comp := range comps {
 		for _, ck := range comp.cached {

@@ -165,6 +165,10 @@ func (t *MapOutputTracker) MissingOutputs(shuffleID int) ([]int, error) {
 }
 
 // SerializeOutputs encodes all statuses of a shuffle for the tracker RPC.
+// Missing outputs (unregistered after an executor loss, or not yet
+// computed) serialize as explicit holes: the reducer deserializes them as
+// nil and turns them into a metadata fetch failure, which triggers the
+// map-stage resubmission — Spark's MetadataFetchFailedException path.
 func (t *MapOutputTracker) SerializeOutputs(shuffleID int) ([]byte, error) {
 	ss, err := t.Outputs(shuffleID)
 	if err != nil {
@@ -174,14 +178,16 @@ func (t *MapOutputTracker) SerializeOutputs(shuffleID int) ([]byte, error) {
 	buf.WriteUint32(uint32(len(ss)))
 	for _, s := range ss {
 		if s == nil {
-			return nil, fmt.Errorf("shuffle: shuffle %d has missing map outputs", shuffleID)
+			buf.WriteByte(0)
+			continue
 		}
+		buf.WriteByte(1)
 		s.Encode(buf)
 	}
 	return buf.Bytes(), nil
 }
 
-// DeserializeOutputs decodes a tracker RPC payload.
+// DeserializeOutputs decodes a tracker RPC payload; holes come back nil.
 func DeserializeOutputs(data []byte) ([]*MapStatus, error) {
 	buf := bytebuf.Wrap(data)
 	n, err := buf.ReadUint32()
@@ -190,6 +196,13 @@ func DeserializeOutputs(data []byte) ([]*MapStatus, error) {
 	}
 	out := make([]*MapStatus, n)
 	for i := range out {
+		present, err := buf.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if present == 0 {
+			continue
+		}
 		if out[i], err = DecodeMapStatus(buf); err != nil {
 			return nil, err
 		}

@@ -50,8 +50,19 @@ func TestTrackerErrors(t *testing.T) {
 	if err := tr.RegisterMapOutput(9, 5, &MapStatus{}); err == nil {
 		t.Fatal("out-of-range map id succeeded")
 	}
-	if _, err := tr.SerializeOutputs(9); err == nil {
-		t.Fatal("serializing incomplete shuffle succeeded")
+	// An incomplete shuffle serializes with explicit holes: the reducer
+	// must see the missing outputs as nil and raise a metadata fetch
+	// failure (the executor-loss recovery path), not a decode error.
+	data, err := tr.SerializeOutputs(9)
+	if err != nil {
+		t.Fatalf("serializing incomplete shuffle: %v", err)
+	}
+	holey, err := DeserializeOutputs(data)
+	if err != nil {
+		t.Fatalf("deserializing holes: %v", err)
+	}
+	if len(holey) != 2 || holey[0] != nil || holey[1] != nil {
+		t.Fatalf("holey round trip = %+v, want two nils", holey)
 	}
 	if _, err := tr.Outputs(404); err == nil {
 		t.Fatal("outputs of unknown shuffle succeeded")
