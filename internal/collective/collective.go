@@ -1,0 +1,609 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/vtime"
+)
+
+// Default knobs.
+const (
+	// DefaultChunkBytes bounds one collective chunk (the pipelining
+	// granularity of the chain broadcast and the ring steps). The
+	// MPI-Optimized launcher caps it at the MPI eager threshold so every
+	// chunk avoids the rendezvous handshake.
+	DefaultChunkBytes = 1 << 20
+	// DefaultSmallLimit is the payload size at or below which broadcast
+	// and allreduce use single-message binomial trees (latency-optimal)
+	// instead of chunked pipelines (bandwidth-optimal).
+	DefaultSmallLimit = 64 << 10
+	// DefaultSendCost is the per-chunk sender CPU cost, matching the
+	// shuffle stream manager's per-chunk serve cost.
+	DefaultSendCost = 3 * time.Microsecond
+	// DefaultCombineNsPerByte is the per-byte CPU cost of folding one
+	// received buffer into the local accumulator.
+	DefaultCombineNsPerByte = 0.1
+)
+
+// Tag layout: the low 20 bits index the chunk within a transfer, the bits
+// above it identify the transfer edge (tree level or ring step), and the
+// top bit separates the broadcast phase of a small allreduce from its
+// reduce phase.
+const (
+	tagChunkBits         = 20
+	bcastTagBit   uint32 = 1 << 31
+)
+
+// Config tunes a Group.
+type Config struct {
+	ChunkBytes       int
+	SmallLimit       int
+	SendCost         time.Duration
+	CombineNsPerByte float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = DefaultChunkBytes
+	}
+	if c.SmallLimit <= 0 {
+		c.SmallLimit = DefaultSmallLimit
+	}
+	if c.SendCost <= 0 {
+		c.SendCost = DefaultSendCost
+	}
+	if c.CombineNsPerByte <= 0 {
+		c.CombineNsPerByte = DefaultCombineNsPerByte
+	}
+	return c
+}
+
+// ReduceOp combines byte payloads. Combine folds src into dst — it may
+// grow and return a new dst when src is longer, and must treat a short or
+// empty operand as the identity (zero-extension). Align is the byte
+// alignment ring-allreduce segment and chunk boundaries snap to so
+// element-wise ops never split an element (1 means none).
+type ReduceOp struct {
+	Align   int
+	Combine func(dst, src []byte) []byte
+}
+
+// Float64Sum sums big-endian float64 vectors element-wise; a shorter
+// operand is zero-extended. Trailing bytes beyond the last full word do
+// not combine — use payload lengths that are multiples of 8.
+var Float64Sum = ReduceOp{Align: 8, Combine: combineFloat64Sum}
+
+func combineFloat64Sum(dst, src []byte) []byte {
+	if len(src) > len(dst) {
+		grown := make([]byte, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i+8 <= len(src); i += 8 {
+		a := math.Float64frombits(binary.BigEndian.Uint64(dst[i:]))
+		b := math.Float64frombits(binary.BigEndian.Uint64(src[i:]))
+		binary.BigEndian.PutUint64(dst[i:], math.Float64bits(a+b))
+	}
+	return dst
+}
+
+// EncodeFloat64s renders v as the big-endian byte payload Float64Sum
+// operates on.
+func EncodeFloat64s(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeFloat64s parses an EncodeFloat64s payload.
+func DecodeFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+var opSeq atomic.Int64
+
+// NextOpID allocates a process-global collective operation id. Every rank
+// of one operation must use the same id.
+func NextOpID() int64 { return opSeq.Add(1) }
+
+// Group is a fixed set of ranks (stations) executing collective
+// operations together. Rank i is members[i]; algorithms address peers
+// through the stations' wire addresses, so the group works across every
+// transport the environments were built on.
+type Group struct {
+	cfg     Config
+	members []*Station
+	addrs   []fabric.Addr
+}
+
+// NewGroup builds a group over the given stations (rank order).
+func NewGroup(cfg Config, members []*Station) *Group {
+	g := &Group{cfg: cfg.withDefaults(), members: members}
+	g.addrs = make([]fabric.Addr, len(members))
+	for i, st := range members {
+		g.addrs[i] = st.Addr()
+	}
+	return g
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return len(g.members) }
+
+// Config returns the group's effective configuration.
+func (g *Group) Config() Config { return g.cfg }
+
+// Abort fails op on every member station.
+func (g *Group) Abort(op int64, err error) {
+	for _, st := range g.members {
+		st.AbortOp(op, err)
+	}
+}
+
+// Run drives one collective operation: fn(rank) runs concurrently for
+// every rank, and any rank's failure aborts the op on all members so no
+// sibling blocks forever on chunks a failed rank will never send. It
+// returns the first error.
+func (g *Group) Run(op int64, fn func(rank int) error) error {
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	for r := range g.members {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := fn(r); err != nil {
+				errs[r] = err
+				g.Abort(op, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// realRank maps a virtual rank (root-relative) back to a group rank.
+func realRank(vr, root, n int) int { return (vr + root) % n }
+
+// binomial returns vr's parent (-1 at the tree root, vr 0) and children
+// in the binomial tree over n virtual ranks, children largest-subtree
+// first (the standard MPICH ordering).
+func binomial(vr, n int) (parent int, children []int) {
+	parent = -1
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			parent = vr - mask
+			break
+		}
+		mask <<= 1
+	}
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if vr+m < n {
+			children = append(children, vr+m)
+		}
+	}
+	return parent, children
+}
+
+// chunkSpan returns the chunk size used to split a transfer, snapped down
+// to align so element-wise combines never split an element.
+func (g *Group) chunkSpan(align int) int {
+	cb := g.cfg.ChunkBytes
+	if align > 1 {
+		cb -= cb % align
+		if cb <= 0 {
+			cb = align
+		}
+	}
+	return cb
+}
+
+// chunkCount returns how many chunks a total-byte transfer takes (at
+// least one: a zero-byte transfer still sends one header-only chunk so
+// the receiver learns the size).
+func chunkCount(total, span int) int {
+	if total <= 0 {
+		return 1
+	}
+	return (total + span - 1) / span
+}
+
+// sendChunk ships one chunk, charging SendCost on the rank's send clock.
+func (g *Group) sendChunk(rank, dst int, op int64, tag uint32, total, offset int, body []byte, at vtime.Stamp, chunks *metrics.Counter) (vtime.Stamp, error) {
+	st := g.members[rank]
+	svt := st.sendClock.ObserveAndAdvance(at, g.cfg.SendCost)
+	m := &rpc.CollectiveChunk{
+		OpID: op, Tag: tag, Src: uint32(rank),
+		Total: uint64(total), Offset: uint64(offset), Body: body,
+	}
+	if _, err := st.env.SendCollective(g.addrs[dst], m, svt); err != nil {
+		return svt, fmt.Errorf("collective: rank %d send to %d: %w", rank, dst, err)
+	}
+	chunks.Inc()
+	return svt, nil
+}
+
+// sendRange streams data[lo:hi] to dst as chunks tagged tagBase|i.
+func (g *Group) sendRange(rank, dst int, op int64, tagBase uint32, data []byte, lo, hi, span int, at vtime.Stamp, chunks *metrics.Counter) (vtime.Stamp, error) {
+	total := hi - lo
+	nc := chunkCount(total, span)
+	vt := at
+	for i := 0; i < nc; i++ {
+		clo := lo + i*span
+		chi := clo + span
+		if chi > hi {
+			chi = hi
+		}
+		var err error
+		vt, err = g.sendChunk(rank, dst, op, tagBase|uint32(i), total, clo-lo, data[clo:chi], vt, chunks)
+		if err != nil {
+			return vt, err
+		}
+	}
+	return vt, nil
+}
+
+// combineCost models folding n bytes into the local accumulator.
+func (g *Group) combineCost(n int) time.Duration {
+	return time.Duration(g.cfg.CombineNsPerByte * float64(n))
+}
+
+// recvRange receives the chunks of one tagged transfer into dst[lo:hi],
+// combining with rop when non-nil (else copying). It returns the local
+// completion time.
+func (g *Group) recvRange(rank int, op int64, tagBase uint32, dst []byte, lo, hi, span int, rop *ReduceOp, at vtime.Stamp) (vtime.Stamp, error) {
+	st := g.members[rank]
+	nc := chunkCount(hi-lo, span)
+	vt := at
+	for i := 0; i < nc; i++ {
+		d, err := st.recv(op, tagBase|uint32(i))
+		if err != nil {
+			return vt, err
+		}
+		vt = vtime.Max(vt, d.vt)
+		if len(d.data) > 0 {
+			seg := dst[lo+d.offset : lo+d.offset+len(d.data)]
+			if rop != nil {
+				rop.Combine(seg, d.data)
+				vt = vt.Add(g.combineCost(len(d.data)))
+			} else {
+				copy(seg, d.data)
+			}
+		}
+	}
+	return vt, nil
+}
+
+// recvPayload receives one whole tagged transfer of unknown size into a
+// pooled buffer (the first chunk announces the total).
+func (g *Group) recvPayload(rank int, op int64, tagBase uint32, span int, at vtime.Stamp) (*bytebuf.Buf, int, vtime.Stamp, error) {
+	st := g.members[rank]
+	d0, err := st.recv(op, tagBase)
+	if err != nil {
+		return nil, 0, at, err
+	}
+	total := d0.total
+	buf := bytebuf.Get(total)
+	buf.WriteBytes(d0.data)
+	vt := vtime.Max(at, d0.vt)
+	nc := chunkCount(total, span)
+	for i := 1; i < nc; i++ {
+		d, err := st.recv(op, tagBase|uint32(i))
+		if err != nil {
+			buf.Release()
+			return nil, 0, at, err
+		}
+		buf.WriteBytes(d.data)
+		vt = vtime.Max(vt, d.vt)
+	}
+	return buf, d0.src, vt, nil
+}
+
+var (
+	bcastCtrs     = ctrNames{ops: metrics.CollectiveBcastOps, bytes: metrics.CollectiveBcastBytes, chunks: metrics.CollectiveBcastChunks}
+	reduceCtrs    = ctrNames{ops: metrics.CollectiveReduceOps, bytes: metrics.CollectiveReduceBytes, chunks: metrics.CollectiveReduceChunks}
+	allreduceCtrs = ctrNames{ops: metrics.CollectiveAllreduceOps, bytes: metrics.CollectiveAllreduceBytes, chunks: metrics.CollectiveAllreduceChunks}
+)
+
+type ctrNames struct{ ops, bytes, chunks string }
+
+// Bcast broadcasts root's payload to every rank of the group. Every rank
+// calls it with the same op and root; only root's data is read. Payloads
+// at or below SmallLimit travel a binomial tree as one message per edge;
+// larger ones stream down a pipelined chain in ChunkBytes pieces, so the
+// root's link carries the payload once — O(B), not O(E·B). The returned
+// slice is root's own data at root and a pooled copy elsewhere (release
+// it once consumed, and only after every rank of the op completed).
+func (g *Group) Bcast(op int64, rank, root int, data []byte, at vtime.Stamp) ([]byte, func(), vtime.Stamp, error) {
+	out, release, vt, err := g.bcast(op, rank, root, data, 0, metrics.GetCounter(bcastCtrs.chunks), at)
+	if err != nil {
+		return nil, nil, vt, err
+	}
+	if rank == root {
+		metrics.GetCounter(bcastCtrs.ops).Inc()
+		metrics.GetCounter(bcastCtrs.bytes).Add(int64(len(data)))
+	}
+	g.members[rank].retire(op)
+	return out, release, vt, nil
+}
+
+func noRelease() {}
+
+func (g *Group) bcast(op int64, rank, root int, data []byte, tagBit uint32, chunks *metrics.Counter, at vtime.Stamp) ([]byte, func(), vtime.Stamp, error) {
+	n := g.Size()
+	if n == 1 {
+		return data, noRelease, at, nil
+	}
+	span := g.chunkSpan(1)
+	if rank == root {
+		total := len(data)
+		vt := at
+		if total <= g.cfg.SmallLimit {
+			_, children := binomial(0, n)
+			for _, c := range children {
+				var err error
+				vt, err = g.sendChunk(rank, realRank(c, root, n), op, tagBit, total, 0, data, vt, chunks)
+				if err != nil {
+					return nil, nil, vt, err
+				}
+			}
+		} else {
+			var err error
+			vt, err = g.sendRange(rank, realRank(1, root, n), op, tagBit, data, 0, total, span, vt, chunks)
+			if err != nil {
+				return nil, nil, vt, err
+			}
+		}
+		return data, noRelease, vt, nil
+	}
+
+	st := g.members[rank]
+	vr := (rank - root + n) % n
+	d0, err := st.recv(op, tagBit)
+	if err != nil {
+		return nil, nil, at, err
+	}
+	total := d0.total
+	vt := vtime.Max(at, d0.vt)
+	buf := bytebuf.Get(total)
+
+	if total <= g.cfg.SmallLimit {
+		// Binomial: the first (only) chunk is the whole payload; forward
+		// it to this rank's subtree. The forward sends the delivery's own
+		// private copy, never the pooled reassembly buffer: on the MPI
+		// body path the wire aliases the sender's slice, and the pool may
+		// hand a released buffer to another rank of the same op.
+		buf.WriteBytes(d0.data)
+		payload := buf.Readable()
+		_, children := binomial(vr, n)
+		for _, c := range children {
+			vt, err = g.sendChunk(rank, realRank(c, root, n), op, tagBit, total, 0, d0.data, vt, chunks)
+			if err != nil {
+				buf.Release()
+				return nil, nil, vt, err
+			}
+		}
+		return payload, buf.Release, vt, nil
+	}
+
+	// Chain: receive chunk i from the left, forward it right before
+	// waiting for chunk i+1 — the pipeline that keeps every link busy.
+	next := -1
+	if vr+1 < n {
+		next = realRank(vr+1, root, n)
+	}
+	nc := chunkCount(total, span)
+	d := d0
+	for i := 0; ; i++ {
+		buf.WriteBytes(d.data)
+		vt = vtime.Max(vt, d.vt)
+		if next >= 0 {
+			vt, err = g.sendChunk(rank, next, op, tagBit|uint32(i), total, d.offset, d.data, vt, chunks)
+			if err != nil {
+				buf.Release()
+				return nil, nil, vt, err
+			}
+		}
+		if i+1 >= nc {
+			break
+		}
+		d, err = st.recv(op, tagBit|uint32(i+1))
+		if err != nil {
+			buf.Release()
+			return nil, nil, vt, err
+		}
+	}
+	return buf.Readable(), buf.Release, vt, nil
+}
+
+// Reduce folds every rank's payload into root through a binomial tree,
+// combining with rop (which must be commutative and associative, like an
+// MPI reduction op). Edge transfers are chunked at ChunkBytes. The result
+// is returned at root only (a fresh slice); other ranks get nil.
+func (g *Group) Reduce(op int64, rank, root int, data []byte, rop ReduceOp, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	acc, vt, err := g.reduce(op, rank, root, data, rop, 0, metrics.GetCounter(reduceCtrs.chunks), at)
+	if err != nil {
+		return nil, vt, err
+	}
+	if rank == root {
+		metrics.GetCounter(reduceCtrs.ops).Inc()
+		metrics.GetCounter(reduceCtrs.bytes).Add(int64(len(acc)))
+	}
+	g.members[rank].retire(op)
+	if rank != root {
+		return nil, vt, nil
+	}
+	return acc, vt, nil
+}
+
+func (g *Group) reduce(op int64, rank, root int, data []byte, rop ReduceOp, tagBit uint32, chunks *metrics.Counter, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	n := g.Size()
+	acc := append([]byte(nil), data...)
+	if n == 1 {
+		return acc, at, nil
+	}
+	span := g.chunkSpan(rop.Align)
+	vr := (rank - root + n) % n
+	vt := at
+	level := 0
+	for mask := 1; mask < n; mask <<= 1 {
+		tagBase := tagBit | uint32(level)<<tagChunkBits
+		if vr&mask != 0 {
+			// This rank's subtree is folded: ship the accumulator up.
+			parent := realRank(vr-mask, root, n)
+			var err error
+			vt, err = g.sendRange(rank, parent, op, tagBase, acc, 0, len(acc), span, vt, chunks)
+			if err != nil {
+				return nil, vt, err
+			}
+			return nil, vt, nil
+		}
+		if vr+mask < n {
+			buf, _, rvt, err := g.recvPayload(rank, op, tagBase, span, vt)
+			if err != nil {
+				return nil, vt, err
+			}
+			vt = rvt
+			acc = rop.Combine(acc, buf.Readable())
+			vt = vt.Add(g.combineCost(buf.ReadableBytes()))
+			buf.Release()
+		}
+		level++
+	}
+	return acc, vt, nil
+}
+
+// segBounds splits an L-byte buffer into n ring segments with boundaries
+// snapped to align; the last segment absorbs the remainder.
+func segBounds(L, n, align, i int) (lo, hi int) {
+	if align < 1 {
+		align = 1
+	}
+	base := L / n
+	base -= base % align
+	lo = i * base
+	hi = lo + base
+	if i == n-1 {
+		hi = L
+	}
+	return lo, hi
+}
+
+// Allreduce combines every rank's payload with rop and returns the result
+// to all ranks. Like MPI_Allreduce, every rank must pass the same payload
+// length. Small payloads ride binomial reduce-then-broadcast; large ones
+// run the bandwidth-optimal chunked ring (reduce-scatter + allgather),
+// which moves 2·B·(n-1)/n bytes over each rank's link regardless of n.
+// The returned slice is pooled — release it once consumed, and only after
+// every rank of the op completed.
+func (g *Group) Allreduce(op int64, rank int, data []byte, rop ReduceOp, at vtime.Stamp) ([]byte, func(), vtime.Stamp, error) {
+	n := g.Size()
+	chunks := metrics.GetCounter(allreduceCtrs.chunks)
+	countOp := func(resLen int) {
+		if rank == 0 {
+			metrics.GetCounter(allreduceCtrs.ops).Inc()
+			metrics.GetCounter(allreduceCtrs.bytes).Add(int64(resLen))
+		}
+	}
+	if n == 1 {
+		countOp(len(data))
+		return data, noRelease, at, nil
+	}
+
+	if len(data) <= g.cfg.SmallLimit {
+		acc, vt, err := g.reduce(op, rank, 0, data, rop, 0, chunks, at)
+		if err != nil {
+			return nil, nil, vt, err
+		}
+		out, release, vt, err := g.bcast(op, rank, 0, acc, bcastTagBit, chunks, vt)
+		if err != nil {
+			return nil, nil, vt, err
+		}
+		if rank == 0 {
+			// Root's bcast returns its own acc; hand back a pooled copy so
+			// ownership is uniform across ranks.
+			buf := bytebuf.Get(len(out))
+			buf.WriteBytes(out)
+			out, release = buf.Readable(), buf.Release
+		}
+		countOp(len(out))
+		g.members[rank].retire(op)
+		return out, release, vt, nil
+	}
+
+	// Ring: reduce-scatter then allgather, segment per rank, chunked.
+	L := len(data)
+	span := g.chunkSpan(rop.Align)
+	right := (rank + 1) % n
+	buf := bytebuf.Get(L)
+	buf.WriteBytes(data)
+	work := buf.Readable()
+	vt := at
+	mod := func(x int) int { return ((x % n) + n) % n }
+
+	// Each step sends a private copy of the outgoing window, never a
+	// subslice of the pooled work buffer: the MPI body path keeps the
+	// sender's slice aliased at the receiver, and the same segment is
+	// rewritten by a later step (and the buffer itself may be repooled
+	// by an early-releasing caller while peers still read it).
+	for s := 0; s < n-1; s++ {
+		tagBase := uint32(s) << tagChunkBits
+		sendSeg := mod(rank - s)
+		recvSeg := mod(rank - s - 1)
+		slo, shi := segBounds(L, n, rop.Align, sendSeg)
+		seg := append([]byte(nil), work[slo:shi]...)
+		var err error
+		vt, err = g.sendRange(rank, right, op, tagBase, seg, 0, len(seg), span, vt, chunks)
+		if err != nil {
+			buf.Release()
+			return nil, nil, vt, err
+		}
+		rlo, rhi := segBounds(L, n, rop.Align, recvSeg)
+		vt, err = g.recvRange(rank, op, tagBase, work, rlo, rhi, span, &rop, vt)
+		if err != nil {
+			buf.Release()
+			return nil, nil, vt, err
+		}
+	}
+	for s := 0; s < n-1; s++ {
+		tagBase := uint32(n-1+s) << tagChunkBits
+		sendSeg := mod(rank + 1 - s)
+		recvSeg := mod(rank - s)
+		slo, shi := segBounds(L, n, rop.Align, sendSeg)
+		seg := append([]byte(nil), work[slo:shi]...)
+		var err error
+		vt, err = g.sendRange(rank, right, op, tagBase, seg, 0, len(seg), span, vt, chunks)
+		if err != nil {
+			buf.Release()
+			return nil, nil, vt, err
+		}
+		rlo, rhi := segBounds(L, n, rop.Align, recvSeg)
+		vt, err = g.recvRange(rank, op, tagBase, work, rlo, rhi, span, nil, vt)
+		if err != nil {
+			buf.Release()
+			return nil, nil, vt, err
+		}
+	}
+	countOp(L)
+	g.members[rank].retire(op)
+	return work, buf.Release, vt, nil
+}

@@ -1,0 +1,341 @@
+package collective
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/vtime"
+)
+
+type fixture struct {
+	fab   *fabric.Fabric
+	nodes []*fabric.Node
+	envs  []*rpc.Env
+	group *Group
+}
+
+func makeFixture(t *testing.T, n int, model *fabric.Model, cfg Config) *fixture {
+	t.Helper()
+	fx := &fixture{fab: fabric.New(model)}
+	sts := make([]*Station, n)
+	for i := 0; i < n; i++ {
+		node := fx.fab.AddNode(fmt.Sprintf("n%d", i))
+		env, err := rpc.NewEnv(fmt.Sprintf("env%d", i), node, "rpc", rpc.DefaultEnvConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.nodes = append(fx.nodes, node)
+		fx.envs = append(fx.envs, env)
+		sts[i] = NewStation(env)
+	}
+	t.Cleanup(func() {
+		for _, e := range fx.envs {
+			e.Shutdown()
+		}
+	})
+	fx.group = NewGroup(cfg, sts)
+	return fx
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+func TestBcastSizesAndRanks(t *testing.T) {
+	cfg := Config{ChunkBytes: 4096, SmallLimit: 1024}
+	sizes := []int{0, 1, 1024, 1025, 4096, 4097, 3*4096 + 5}
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, root := range []int{0, n - 1} {
+			fx := makeFixture(t, n, fabric.NewZeroModel(), cfg)
+			for _, size := range sizes {
+				data := pattern(size)
+				op := NextOpID()
+				var mu sync.Mutex
+				got := make(map[int][]byte)
+				err := fx.group.Run(op, func(rank int) error {
+					out, release, _, err := fx.group.Bcast(op, rank, root, data, 0)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					got[rank] = append([]byte(nil), out...)
+					mu.Unlock()
+					release()
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d root=%d size=%d: %v", n, root, size, err)
+				}
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(got[r], data) {
+						t.Fatalf("n=%d root=%d size=%d rank=%d: payload mismatch (%d vs %d bytes)",
+							n, root, size, r, len(got[r]), len(data))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceFloat64Sum(t *testing.T) {
+	cfg := Config{ChunkBytes: 256, SmallLimit: 64}
+	for _, n := range []int{1, 2, 3, 5} {
+		for _, vecLen := range []int{0, 1, 7, 33, 200} {
+			fx := makeFixture(t, n, fabric.NewZeroModel(), cfg)
+			op := NextOpID()
+			want := make([]float64, vecLen)
+			inputs := make([][]byte, n)
+			for r := 0; r < n; r++ {
+				v := make([]float64, vecLen)
+				for i := range v {
+					v[i] = float64(r+1) * float64(i+1)
+					want[i] += v[i]
+				}
+				inputs[r] = EncodeFloat64s(v)
+			}
+			var root []byte
+			err := fx.group.Run(op, func(rank int) error {
+				out, _, err := fx.group.Reduce(op, rank, 0, inputs[rank], Float64Sum, 0)
+				if rank == 0 {
+					root = out
+				}
+				return err
+			})
+			if err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, vecLen, err)
+			}
+			got := DecodeFloat64s(root)
+			if len(got) != vecLen {
+				t.Fatalf("n=%d len=%d: got %d elements", n, vecLen, len(got))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d len=%d elem %d: got %v want %v", n, vecLen, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceSmallAndRing(t *testing.T) {
+	// SmallLimit 64 forces the ring for the larger vectors; vecLen 1500*8
+	// bytes with ChunkBytes 1024 exercises multi-chunk ring segments, and
+	// n=5 a non-power-of-two non-even split.
+	cfg := Config{ChunkBytes: 1024, SmallLimit: 64}
+	for _, n := range []int{1, 2, 3, 5} {
+		for _, vecLen := range []int{1, 4, 130, 1500} {
+			fx := makeFixture(t, n, fabric.NewZeroModel(), cfg)
+			op := NextOpID()
+			want := make([]float64, vecLen)
+			inputs := make([][]byte, n)
+			for r := 0; r < n; r++ {
+				v := make([]float64, vecLen)
+				for i := range v {
+					v[i] = float64(r*31+i%17) / 4
+					want[i] += v[i]
+				}
+				inputs[r] = EncodeFloat64s(v)
+			}
+			var mu sync.Mutex
+			got := make(map[int][]float64)
+			err := fx.group.Run(op, func(rank int) error {
+				out, release, _, err := fx.group.Allreduce(op, rank, inputs[rank], Float64Sum, 0)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				got[rank] = DecodeFloat64s(out)
+				mu.Unlock()
+				release()
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, vecLen, err)
+			}
+			for r := 0; r < n; r++ {
+				if len(got[r]) != vecLen {
+					t.Fatalf("n=%d len=%d rank=%d: %d elements", n, vecLen, r, len(got[r]))
+				}
+				for i := range got[r] {
+					if got[r][i] != want[i] {
+						t.Fatalf("n=%d len=%d rank=%d elem %d: got %v want %v",
+							n, vecLen, r, i, got[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBcastRootLinkIsOB is the acceptance check that the pipelined chain
+// broadcast ships a B-byte blob over the root's own link once — O(B) —
+// rather than fanning out E copies.
+func TestBcastRootLinkIsOB(t *testing.T) {
+	const B = 1 << 22
+	const n = 6
+	cfg := Config{ChunkBytes: 64 << 10, SmallLimit: 64 << 10}
+	fx := makeFixture(t, n, fabric.NewIBHDRModel(), cfg)
+	data := pattern(B)
+	op := NextOpID()
+	fx.nodes[0].ResetTraffic()
+	err := fx.group.Run(op, func(rank int) error {
+		out, release, _, err := fx.group.Bcast(op, rank, 0, data, 0)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(out, data) {
+			return errors.New("payload mismatch")
+		}
+		release()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := fx.nodes[0].TxBytes()
+	if tx < B {
+		t.Fatalf("root tx = %d < payload %d", tx, B)
+	}
+	// Allow framing overhead but nothing near a 2nd copy, let alone the
+	// (n-1)·B a driver fan-out would push.
+	if tx > B+B/4 {
+		t.Fatalf("root tx = %d, want ~%d (O(B)); fan-out would be %d", tx, B, (n-1)*B)
+	}
+}
+
+func TestCollectiveDeterminism(t *testing.T) {
+	run := func() vtime.Stamp {
+		cfg := Config{ChunkBytes: 8 << 10, SmallLimit: 1 << 10}
+		fx := makeFixture(t, 5, fabric.NewIBHDRModel(), cfg)
+		data := pattern(200 << 10)
+		op := NextOpID()
+		var mu sync.Mutex
+		var maxVT vtime.Stamp
+		err := fx.group.Run(op, func(rank int) error {
+			_, release, vt, err := fx.group.Bcast(op, rank, 0, data, 0)
+			if err != nil {
+				return err
+			}
+			release()
+			mu.Lock()
+			maxVT = vtime.Max(maxVT, vt)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return maxVT
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("bcast completion vt nondeterministic: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("vt = %v, want > 0", a)
+	}
+}
+
+func TestCollectiveMetricsCounters(t *testing.T) {
+	cfg := Config{ChunkBytes: 1024, SmallLimit: 64}
+	fx := makeFixture(t, 3, fabric.NewZeroModel(), cfg)
+
+	before := map[string]int64{}
+	for _, name := range []string{
+		metrics.CollectiveBcastOps, metrics.CollectiveBcastBytes, metrics.CollectiveBcastChunks,
+		metrics.CollectiveAllreduceOps, metrics.CollectiveAllreduceBytes, metrics.CollectiveAllreduceChunks,
+	} {
+		before[name] = metrics.CounterValue(name)
+	}
+
+	data := pattern(5000)
+	op := NextOpID()
+	if err := fx.group.Run(op, func(rank int) error {
+		_, release, _, err := fx.group.Bcast(op, rank, 0, data, 0)
+		if err == nil {
+			release()
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vec := EncodeFloat64s(make([]float64, 400))
+	op2 := NextOpID()
+	if err := fx.group.Run(op2, func(rank int) error {
+		_, release, _, err := fx.group.Allreduce(op2, rank, vec, Float64Sum, 0)
+		if err == nil {
+			release()
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := metrics.CounterValue(metrics.CollectiveBcastOps) - before[metrics.CollectiveBcastOps]; d != 1 {
+		t.Fatalf("bcast ops delta = %d, want 1", d)
+	}
+	if d := metrics.CounterValue(metrics.CollectiveBcastBytes) - before[metrics.CollectiveBcastBytes]; d != 5000 {
+		t.Fatalf("bcast bytes delta = %d, want 5000", d)
+	}
+	if d := metrics.CounterValue(metrics.CollectiveBcastChunks) - before[metrics.CollectiveBcastChunks]; d <= 0 {
+		t.Fatalf("bcast chunks delta = %d, want > 0", d)
+	}
+	if d := metrics.CounterValue(metrics.CollectiveAllreduceOps) - before[metrics.CollectiveAllreduceOps]; d != 1 {
+		t.Fatalf("allreduce ops delta = %d, want 1", d)
+	}
+	if d := metrics.CounterValue(metrics.CollectiveAllreduceBytes) - before[metrics.CollectiveAllreduceBytes]; d != int64(len(vec)) {
+		t.Fatalf("allreduce bytes delta = %d, want %d", d, len(vec))
+	}
+	if d := metrics.CounterValue(metrics.CollectiveAllreduceChunks) - before[metrics.CollectiveAllreduceChunks]; d <= 0 {
+		t.Fatalf("allreduce chunks delta = %d, want > 0", d)
+	}
+}
+
+// TestAbortUnblocksSiblings kills one rank's op mid-collective and checks
+// the others fail fast instead of hanging.
+func TestAbortUnblocksSiblings(t *testing.T) {
+	cfg := Config{ChunkBytes: 1024, SmallLimit: 64}
+	fx := makeFixture(t, 3, fabric.NewZeroModel(), cfg)
+	data := pattern(100 << 10)
+	op := NextOpID()
+	boom := errors.New("rank 2 died")
+	err := fx.group.Run(op, func(rank int) error {
+		if rank == 2 {
+			return boom
+		}
+		_, release, _, err := fx.group.Bcast(op, rank, 0, data, 0)
+		if err == nil {
+			release()
+		}
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestStationCloseFailsBlockedRecv shuts an environment down while a
+// receive is blocked on it.
+func TestStationCloseFailsBlockedRecv(t *testing.T) {
+	fx := makeFixture(t, 2, fabric.NewZeroModel(), Config{})
+	op := NextOpID()
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, _, err := fx.group.Bcast(op, 1, 0, nil, 0)
+		errCh <- err
+	}()
+	fx.envs[1].Shutdown()
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

@@ -375,6 +375,36 @@ func (h *optOutbound) Write(ctx *netty.Context, msg any) {
 			})
 			return
 		}
+	case *rpc.CollectiveChunk:
+		// Collective chunk bodies ride MPI with the header on the socket,
+		// like batched shuffle chunks, with one refinement: a body larger
+		// than the eager threshold is split into eager-sized pieces on a
+		// single tag instead of going out as one rendezvous message. The
+		// pieces pipeline at full wire bandwidth with no RTS/CTS stall,
+		// and MPI's non-overtaking order lets the receiver reassemble them
+		// by issuing the same number of receives. Empty chunks (size
+		// announcements, zero-byte payloads) are header-only.
+		if !m.BodyViaMPI && len(m.Body) > 0 {
+			tag := mpi.AllocTag()
+			thr := r.h.EagerThreshold()
+			vt := ctx.VT()
+			// Header first: the tiny socket frame claims the NIC before
+			// the body occupies it, so its wire latency hides behind the
+			// body transfer instead of queueing after it.
+			ctx.Write(&rpc.CollectiveChunk{
+				OpID: m.OpID, Tag: m.Tag, Src: m.Src,
+				Total: m.Total, Offset: m.Offset,
+				BodyViaMPI: true, BodySize: len(m.Body), BodyTag: tag,
+			})
+			for off := 0; off < len(m.Body); off += thr {
+				end := off + thr
+				if end > len(m.Body) {
+					end = len(m.Body)
+				}
+				vt = r.h.Isend(r.rank, tag, m.Body[off:end], vt).Wait(vt)
+			}
+			return
+		}
 	}
 	ctx.Write(msg)
 }
@@ -413,6 +443,33 @@ func (h *optInbound) ChannelRead(ctx *netty.Context, msg any) {
 			ctx.SetVT(vtime.Max(ctx.VT(), status.VT))
 			ctx.FireChannelRead(&rpc.BlockBatchChunk{
 				BatchID: m.BatchID, Index: m.Index,
+				Total: m.Total, Offset: m.Offset,
+				Body: data, BodySize: len(data),
+			})
+			return
+		}
+	case *rpc.CollectiveChunk:
+		if m.BodyViaMPI && ready {
+			// The sender split the body into eager-sized pieces on one
+			// tag; receive them all and reassemble in non-overtaking
+			// order.
+			thr := r.h.EagerThreshold()
+			pieces := (m.BodySize + thr - 1) / thr
+			data, status := r.h.Recv(r.rank, m.BodyTag, ctx.VT())
+			vt := status.VT
+			if pieces > 1 {
+				buf := make([]byte, 0, m.BodySize)
+				buf = append(buf, data...)
+				for i := 1; i < pieces; i++ {
+					piece, st := r.h.Recv(r.rank, m.BodyTag, ctx.VT())
+					buf = append(buf, piece...)
+					vt = vtime.Max(vt, st.VT)
+				}
+				data = buf
+			}
+			ctx.SetVT(vtime.Max(ctx.VT(), vt))
+			ctx.FireChannelRead(&rpc.CollectiveChunk{
+				OpID: m.OpID, Tag: m.Tag, Src: m.Src,
 				Total: m.Total, Offset: m.Offset,
 				Body: data, BodySize: len(data),
 			})

@@ -142,6 +142,13 @@ type Node struct {
 	nicTx  *vtime.Resource
 	nicRx  *vtime.Resource
 	failed bool // guarded by fabric.mu
+
+	// Per-link traffic counters (loopback excluded): what this node's NIC
+	// actually carried. They let tests distinguish an O(B) tree/ring
+	// distribution from an O(E·B) root fan-out, which the fabric-wide
+	// per-protocol totals cannot.
+	txMsgs, txBytes atomic.Int64
+	rxMsgs, rxBytes atomic.Int64
 }
 
 // Name returns the node's name.
@@ -149,6 +156,27 @@ func (n *Node) Name() string { return n.name }
 
 // Fabric returns the owning fabric.
 func (n *Node) Fabric() *Fabric { return n.fabric }
+
+// TxBytes returns the bytes this node has sent over its NIC (loopback
+// transfers are not counted).
+func (n *Node) TxBytes() int64 { return n.txBytes.Load() }
+
+// TxMessages returns the message count sent over this node's NIC.
+func (n *Node) TxMessages() int64 { return n.txMsgs.Load() }
+
+// RxBytes returns the bytes this node has received over its NIC.
+func (n *Node) RxBytes() int64 { return n.rxBytes.Load() }
+
+// RxMessages returns the message count received over this node's NIC.
+func (n *Node) RxMessages() int64 { return n.rxMsgs.Load() }
+
+// ResetTraffic zeroes the node's per-link traffic counters.
+func (n *Node) ResetTraffic() {
+	n.txMsgs.Store(0)
+	n.txBytes.Store(0)
+	n.rxMsgs.Store(0)
+	n.rxBytes.Store(0)
+}
 
 // Listener accepts connections dialed to its address.
 type Listener struct {
@@ -319,6 +347,10 @@ func (f *Fabric) Transfer(from, to *Node, proto Protocol, n int, at vtime.Stamp)
 		cpuFree = at.Add(d)
 		return cpuFree, cpuFree
 	}
+	from.txMsgs.Add(1)
+	from.txBytes.Add(int64(n))
+	to.rxMsgs.Add(1)
+	to.rxBytes.Add(int64(n))
 	cost := f.model.cost(proto)
 	cpuFree = at.Add(cost.SendOverhead + cost.copyCost(n))
 	serial := cost.serial(n)

@@ -188,6 +188,11 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 		// bigger messages win even with the handshake.
 		if design == core.DesignOptimized {
 			sparkCfg.ShuffleChunkBytes = mpi.DefaultEagerThreshold
+			// Collective chunks keep their default (large) size: the
+			// Optimized transport itself splits each chunk body into
+			// eager-sized MPI pieces, so shrinking the chunks here would
+			// only multiply socket-header traffic without avoiding any
+			// rendezvous handshake.
 		}
 		cl, err := core.LaunchMPICluster(core.ClusterConfig{
 			Fabric:                f,

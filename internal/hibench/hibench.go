@@ -101,48 +101,12 @@ func pointsRDD(ctx *spark.Context, parts, perPart, dim int, seed int64) *spark.R
 	return spark.Map(ingested, func(p spark.Pair[int64, LabeledPoint]) LabeledPoint { return p.V }).Cache()
 }
 
-// vecConf is the shuffle configuration for (int64, []float64) pairs used
-// by tree aggregation and LDA.
-func vecConf(parts int) spark.ShuffleConf[int64, []float64] {
-	return spark.ShuffleConf[int64, []float64]{
-		Codec: spark.PairCodec[int64, []float64]{Key: spark.Int64Codec{}, Val: spark.Float64SliceCodec{}},
-		Ops:   spark.Int64Key{},
-		Parts: parts,
-	}
-}
-
-func addVec(a, b []float64) []float64 {
-	if len(a) < len(b) {
-		a, b = b, a
-	}
-	out := append([]float64(nil), a...)
-	for i := range b {
-		out[i] += b[i]
-	}
-	return out
-}
-
-// treeAggregate reduces per-partition float vectors through an
-// intermediate shuffle layer before collecting at the driver — MLlib's
-// treeAggregate, which turns gradient aggregation into shuffle traffic.
-func treeAggregate[T any](data *spark.RDD[T], branches int, partial func(part int, tc *spark.TaskContext, items []T) []float64) ([]float64, error) {
-	if branches < 1 {
-		branches = 4
-	}
-	partials := spark.MapPartitions(data, func(part int, tc *spark.TaskContext, items []T) ([]spark.Pair[int64, []float64], error) {
-		vec := partial(part, tc, items)
-		return []spark.Pair[int64, []float64]{{K: int64(part % branches), V: vec}}, nil
-	})
-	combined := spark.ReduceByKey(partials, vecConf(branches), addVec)
-	groups, err := spark.Collect(combined)
-	if err != nil {
-		return nil, err
-	}
-	var out []float64
-	for _, g := range groups {
-		out = addVec(out, g.V)
-	}
-	return out, nil
+// treeAggregate reduces per-partition float vectors of width dim to the
+// driver via spark.TreeAggregate: per-executor accumulation followed by a
+// collective reduce/allreduce, so gradient aggregation rides the
+// collective layer instead of an intermediate shuffle.
+func treeAggregate[T any](data *spark.RDD[T], dim int, partial func(part int, tc *spark.TaskContext, items []T) []float64) ([]float64, error) {
+	return spark.TreeAggregate(data, dim, partial)
 }
 
 // flopNs is the modeled cost of one floating-point-heavy loop iteration in

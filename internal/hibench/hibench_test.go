@@ -5,7 +5,9 @@ import (
 	"math"
 	"testing"
 
+	"mpi4spark/internal/core"
 	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/deploy"
 )
@@ -32,6 +34,39 @@ func testCluster(t *testing.T, workers, slots int) *deploy.Cluster {
 	}
 	t.Cleanup(cl.Close)
 	return cl
+}
+
+// backendCluster builds a cluster on the requested transport backend and
+// returns its SparkContext.
+func backendCluster(t *testing.T, workers, slots int, backend spark.Backend) *spark.Context {
+	t.Helper()
+	if backend == spark.BackendVanilla || backend == spark.BackendRDMA {
+		return testCluster(t, workers, slots).Ctx
+	}
+	f := fabric.New(fabric.NewIBHDRModel())
+	wn := make([]*fabric.Node, workers)
+	for i := range wn {
+		wn[i] = f.AddNode(fmt.Sprintf("w%d", i))
+	}
+	design := core.DesignOptimized
+	if backend == spark.BackendMPIBasic {
+		design = core.DesignBasic
+	}
+	cl, err := core.LaunchMPICluster(core.ClusterConfig{
+		Fabric:         f,
+		WorkerNodes:    wn,
+		MasterNode:     f.AddNode("master"),
+		DriverNode:     f.AddNode("driver"),
+		SlotsPerWorker: slots,
+		Design:         design,
+		CPU:            spark.DefaultCPUModel(),
+		Spark:          spark.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl.Ctx
 }
 
 func TestSVMConverges(t *testing.T) {
@@ -78,21 +113,71 @@ func TestGMMLikelihoodImproves(t *testing.T) {
 	}
 }
 
-func TestLDARunsWithShuffle(t *testing.T) {
+func TestLDAAggregatesViaCollective(t *testing.T) {
 	cl := testCluster(t, 2, 2)
+	opsBefore := metrics.CounterValue(metrics.CollectiveReduceOps) +
+		metrics.CounterValue(metrics.CollectiveAllreduceOps)
 	res, err := RunLDA(cl.Ctx, LDAConfig{Parts: 4, DocsPer: 50, Vocab: 200, WordsPer: 20, K: 4, Iterations: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var shuffled int64
-	for _, s := range res.Stages {
-		shuffled += s.ShuffleBytes
-	}
-	if shuffled == 0 {
-		t.Fatal("LDA iterations produced no shuffle traffic")
+	// Each iteration's dense topic-word statistics ride the collective
+	// layer (reduce or ring allreduce), not a vocabulary-wide shuffle.
+	opsAfter := metrics.CounterValue(metrics.CollectiveReduceOps) +
+		metrics.CounterValue(metrics.CollectiveAllreduceOps)
+	if opsAfter-opsBefore < 2 {
+		t.Fatalf("LDA ran %d collective aggregations, want >= one per iteration", opsAfter-opsBefore)
 	}
 	if math.IsNaN(res.Metric) || math.IsInf(res.Metric, 0) {
 		t.Fatalf("metric = %v", res.Metric)
+	}
+}
+
+func TestKMeansCostDecreases(t *testing.T) {
+	cl := testCluster(t, 2, 2)
+	one, err := RunKMeans(cl.Ctx, KMeansConfig{Parts: 4, PerPart: 200, Dim: 4, K: 3, Iterations: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := RunKMeans(cl.Ctx, KMeansConfig{Parts: 4, PerPart: 200, Dim: 4, K: 3, Iterations: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(five.Metric <= one.Metric) {
+		t.Fatalf("Lloyd's cost increased: %v -> %v", one.Metric, five.Metric)
+	}
+	if five.Metric <= 0 {
+		t.Fatalf("cost = %v", five.Metric)
+	}
+}
+
+// TestMLResultsUnchangedAcrossBackends checks the acceptance criterion
+// that LR and KMeans produce identical model metrics on the collective
+// aggregation path regardless of the transport underneath it.
+func TestMLResultsUnchangedAcrossBackends(t *testing.T) {
+	lrCfg := MLConfig{Parts: 4, PerPart: 200, Dim: 8, Iterations: 3, Seed: 21}
+	kmCfg := KMeansConfig{Parts: 4, PerPart: 200, Dim: 4, K: 3, Iterations: 3, Seed: 22}
+	var lrRef, kmRef float64
+	for i, backend := range []spark.Backend{spark.BackendVanilla, spark.BackendMPIBasic, spark.BackendMPIOpt} {
+		cl := backendCluster(t, 2, 2, backend)
+		lr, err := RunLogisticRegression(cl, lrCfg)
+		if err != nil {
+			t.Fatalf("%v LR: %v", backend, err)
+		}
+		km, err := RunKMeans(cl, kmCfg)
+		if err != nil {
+			t.Fatalf("%v KMeans: %v", backend, err)
+		}
+		if i == 0 {
+			lrRef, kmRef = lr.Metric, km.Metric
+			continue
+		}
+		if lr.Metric != lrRef {
+			t.Fatalf("%v LR metric %v != reference %v", backend, lr.Metric, lrRef)
+		}
+		if km.Metric != kmRef {
+			t.Fatalf("%v KMeans metric %v != reference %v", backend, km.Metric, kmRef)
+		}
 	}
 }
 

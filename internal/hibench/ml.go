@@ -15,7 +15,9 @@ type MLConfig struct {
 	Iterations int
 	StepSize   float64
 	Seed       int64
-	// Branches is the treeAggregate fan-in (shuffle width).
+	// Branches is retained for configuration compatibility; gradient
+	// aggregation now rides the collective reduce/allreduce layer, whose
+	// topology is executor-count-driven rather than shuffle-width-driven.
 	Branches int
 }
 
@@ -56,7 +58,7 @@ func RunSVM(ctx *spark.Context, cfg MLConfig) (*Result, error) {
 			// Ship the model to the executors as a broadcast, like MLlib:
 			// the weight vector crosses the stream path once per executor.
 			wb := spark.NewBroadcast(ctx, append([]float64(nil), w...), 8*cfg.Dim)
-			grad, err := treeAggregate(points, cfg.Branches, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
+			grad, err := treeAggregate(points, cfg.Dim+1, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
 				weights := wb.Value(tc)
 				out := make([]float64, cfg.Dim+1) // gradient + loss tail
 				for _, p := range items {
@@ -98,7 +100,7 @@ func RunLogisticRegression(ctx *spark.Context, cfg MLConfig) (*Result, error) {
 		var loss float64
 		for it := 0; it < cfg.Iterations; it++ {
 			wb := spark.NewBroadcast(ctx, append([]float64(nil), w...), 8*cfg.Dim)
-			grad, err := treeAggregate(points, cfg.Branches, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
+			grad, err := treeAggregate(points, cfg.Dim+1, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
 				weights := wb.Value(tc)
 				out := make([]float64, cfg.Dim+1)
 				for _, p := range items {
@@ -135,7 +137,8 @@ type GMMConfig struct {
 	K          int
 	Iterations int
 	Seed       int64
-	Branches   int
+	// Branches is retained for configuration compatibility (see MLConfig).
+	Branches int
 }
 
 func (c *GMMConfig) defaults() {
@@ -193,7 +196,7 @@ func RunGMM(ctx *spark.Context, cfg GMMConfig) (*Result, error) {
 		for it := 0; it < cfg.Iterations; it++ {
 			mb := spark.NewBroadcast(ctx, gmmModel{mu: mu, sigma: sigma, pi: pi},
 				8*cfg.K*(2*cfg.Dim+1))
-			stats, err := treeAggregate(points, cfg.Branches, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
+			stats, err := treeAggregate(points, statLen, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
 				model := mb.Value(tc)
 				muS, sigmaS, piS := model.mu, model.sigma, model.pi
 				out := make([]float64, statLen)
@@ -257,6 +260,104 @@ func RunGMM(ctx *spark.Context, cfg GMMConfig) (*Result, error) {
 	})
 }
 
+// KMeansConfig parameterizes the KMeans workload.
+type KMeansConfig struct {
+	Parts      int
+	PerPart    int
+	Dim        int
+	K          int
+	Iterations int
+	Seed       int64
+}
+
+func (c *KMeansConfig) defaults() {
+	if c.Parts < 1 {
+		c.Parts = 4
+	}
+	if c.PerPart < 1 {
+		c.PerPart = 1000
+	}
+	if c.Dim < 1 {
+		c.Dim = 10
+	}
+	if c.K < 1 {
+		c.K = 4
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 3
+	}
+}
+
+// RunKMeans runs Lloyd's algorithm (HiBench's KMeans): each iteration
+// broadcasts the centers, assigns every point to its nearest center on the
+// executors, and aggregates the per-center count/sum statistics with the
+// collective layer — MLlib's collectAsMap-over-treeAggregate pattern,
+// ridden over reduce/allreduce here. The metric is the final mean
+// within-cluster squared distance.
+func RunKMeans(ctx *spark.Context, cfg KMeansConfig) (*Result, error) {
+	cfg.defaults()
+	return run(ctx, "KMeans", func() (float64, error) {
+		points := pointsRDD(ctx, cfg.Parts, cfg.PerPart, cfg.Dim, cfg.Seed)
+		if _, err := spark.Count(points); err != nil {
+			return 0, err
+		}
+		// Deterministic center init.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		centers := make([][]float64, cfg.K)
+		for k := range centers {
+			centers[k] = make([]float64, cfg.Dim)
+			for d := range centers[k] {
+				centers[k][d] = rng.NormFloat64() * 2
+			}
+		}
+		// Stats layout per center: count, sum[dim]; plus one cost slot.
+		statLen := cfg.K*(1+cfg.Dim) + 1
+		var cost float64
+		for it := 0; it < cfg.Iterations; it++ {
+			cb := spark.NewBroadcast(ctx, centers, 8*cfg.K*cfg.Dim)
+			stats, err := treeAggregate(points, statLen, func(part int, tc *spark.TaskContext, items []LabeledPoint) []float64 {
+				ctrs := cb.Value(tc)
+				out := make([]float64, statLen)
+				for _, p := range items {
+					best, bestDist := 0, math.Inf(1)
+					for k, c := range ctrs {
+						var dist float64
+						for d := range c {
+							diff := p.Features[d] - c[d]
+							dist += diff * diff
+						}
+						if dist < bestDist {
+							best, bestDist = k, dist
+						}
+					}
+					base := best * (1 + cfg.Dim)
+					out[base]++
+					for d := 0; d < cfg.Dim; d++ {
+						out[base+1+d] += p.Features[d]
+					}
+					out[statLen-1] += bestDist
+				}
+				chargeFlops(tc, len(items)*cfg.K*cfg.Dim*3)
+				return out
+			})
+			cb.Destroy()
+			if err != nil {
+				return 0, err
+			}
+			for k := 0; k < cfg.K; k++ {
+				base := k * (1 + cfg.Dim)
+				if n := stats[base]; n > 0 {
+					for d := 0; d < cfg.Dim; d++ {
+						centers[k][d] = stats[base+1+d] / n
+					}
+				}
+			}
+			cost = stats[statLen-1] / float64(cfg.Parts*cfg.PerPart)
+		}
+		return cost, nil
+	})
+}
+
 // LDAConfig parameterizes the Latent Dirichlet Allocation workload.
 type LDAConfig struct {
 	Parts      int
@@ -296,10 +397,12 @@ type doc struct {
 }
 
 // RunLDA runs an EM-style topic-model iteration loop (HiBench's LDA): each
-// iteration scatters per-word topic contributions and reduces them over
-// the vocabulary — a vocabulary-wide shuffle per iteration, which is why
-// LDA shows the largest ML-suite gains in the paper. The metric is a
-// pseudo log-likelihood.
+// iteration aggregates the dense vocabulary-by-topic sufficient statistics
+// across the cluster. The aggregation rides the collective layer
+// (reduce/allreduce over per-executor partial matrices) instead of a
+// vocabulary-wide shuffle, so the per-iteration communication is the
+// topic-word matrix itself — the pattern where the paper's MPI designs
+// show the largest ML-suite gains. The metric is a pseudo log-likelihood.
 func RunLDA(ctx *spark.Context, cfg LDAConfig) (*Result, error) {
 	cfg.defaults()
 	return run(ctx, "LDA", func() (float64, error) {
@@ -324,7 +427,8 @@ func RunLDA(ctx *spark.Context, cfg LDAConfig) (*Result, error) {
 
 		// Topic-word weights, driver-resident between iterations (MLlib's
 		// EM LDA keeps them in the GraphX edge partitioning; here the
-		// shuffle carries the per-word updates).
+		// collective carries the dense per-iteration statistics).
+		statLen := cfg.Vocab * cfg.K
 		topicWord := make(map[int64][]float64)
 		var ll float64
 		for it := 0; it < cfg.Iterations; it++ {
@@ -333,42 +437,45 @@ func RunLDA(ctx *spark.Context, cfg LDAConfig) (*Result, error) {
 			// expectation-step model.
 			pb := spark.NewBroadcast(ctx, topicWord, len(topicWord)*(8+8*cfg.K))
 			itSeed := cfg.Seed + int64(it)
-			contrib := spark.FlatMapTC(docs, func(tc *spark.TaskContext, d doc) []spark.Pair[int64, []float64] {
+			stats, err := treeAggregate(docs, statLen, func(part int, tc *spark.TaskContext, items []doc) []float64 {
 				prior := pb.Value(tc)
-				out := make([]spark.Pair[int64, []float64], len(d.words))
-				for i, w := range d.words {
-					vec := make([]float64, cfg.K)
-					base := prior[w]
-					for k := 0; k < cfg.K; k++ {
-						p := 1.0 / float64(cfg.K)
-						if base != nil {
-							p = base[k] + 1e-6
+				out := make([]float64, statLen)
+				for _, d := range items {
+					for i, w := range d.words {
+						base := prior[w]
+						for k := 0; k < cfg.K; k++ {
+							p := 1.0 / float64(cfg.K)
+							if base != nil {
+								p = base[k] + 1e-6
+							}
+							// Deterministic pseudo E-step weighting.
+							out[int(w)*cfg.K+k] += d.counts[i] * p * (1 + 0.01*float64((w+int64(k)+itSeed)%7))
 						}
-						// Deterministic pseudo E-step weighting.
-						vec[k] = d.counts[i] * p * (1 + 0.01*float64((w+int64(k)+itSeed)%7))
 					}
-					out[i] = spark.Pair[int64, []float64]{K: w, V: vec}
 				}
+				chargeFlops(tc, len(items)*cfg.WordsPer*cfg.K*3)
 				return out
 			})
-			reduced := spark.ReduceByKey(contrib, vecConf(cfg.Parts), addVec)
-			rows, err := spark.Collect(reduced)
 			pb.Destroy()
 			if err != nil {
 				return 0, err
 			}
-			topicWord = make(map[int64][]float64, len(rows))
+			topicWord = make(map[int64][]float64)
 			ll = 0
-			for _, r := range rows {
+			for w := 0; w < cfg.Vocab; w++ {
+				row := stats[w*cfg.K : (w+1)*cfg.K]
 				var sum float64
-				for _, v := range r.V {
+				for _, v := range row {
 					sum += v
+				}
+				if sum == 0 {
+					continue // word never sampled into the corpus
 				}
 				norm := make([]float64, cfg.K)
 				for k := range norm {
-					norm[k] = r.V[k] / (sum + 1e-12)
+					norm[k] = row[k] / (sum + 1e-12)
 				}
-				topicWord[r.K] = norm
+				topicWord[int64(w)] = norm
 				ll += math.Log(sum + 1e-12)
 			}
 		}

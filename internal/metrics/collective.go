@@ -1,0 +1,21 @@
+package metrics
+
+// Counter names published by the collective communication layer
+// (internal/collective). Per operation kind, `ops` counts completed
+// operations (incremented once per op, at the root for rooted collectives
+// and at rank 0 for allreduce), `bytes` counts the operation's payload
+// bytes (also once per op), and `chunks` counts every chunk any rank put
+// on the wire — the fan-out/pipelining granularity.
+const (
+	CollectiveBcastOps    = "collective.bcast.ops"
+	CollectiveBcastBytes  = "collective.bcast.bytes"
+	CollectiveBcastChunks = "collective.bcast.chunks"
+
+	CollectiveReduceOps    = "collective.reduce.ops"
+	CollectiveReduceBytes  = "collective.reduce.bytes"
+	CollectiveReduceChunks = "collective.reduce.chunks"
+
+	CollectiveAllreduceOps    = "collective.allreduce.ops"
+	CollectiveAllreduceBytes  = "collective.allreduce.bytes"
+	CollectiveAllreduceChunks = "collective.allreduce.chunks"
+)

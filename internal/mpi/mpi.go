@@ -194,6 +194,12 @@ func (h *Handle) Proc() *Proc { return h.comm.procs[h.rank] }
 // Node returns the fabric node the caller runs on.
 func (h *Handle) Node() *fabric.Node { return h.comm.procs[h.rank].node }
 
+// EagerThreshold returns the world's eager/rendezvous switch point in
+// bytes. Transports that pick their own message granularity (for example
+// the Optimized design's collective body path) use it to keep every piece
+// on the eager protocol.
+func (h *Handle) EagerThreshold() int { return h.comm.world.EagerThreshold }
+
 // Status describes a received or probed message.
 type Status struct {
 	// Source is the sender's rank in the communicator the message was sent

@@ -1,0 +1,142 @@
+package ohb
+
+import (
+	"fmt"
+	"sync"
+
+	"mpi4spark/internal/collective"
+	"mpi4spark/internal/spark"
+	"mpi4spark/internal/vtime"
+)
+
+// OSUPoint is one message-size row of an OSU-style collective latency
+// sweep: the virtual time from every rank entering the operation to the
+// last rank leaving it, averaged over the iterations.
+type OSUPoint struct {
+	Bytes   int
+	Latency vtime.Stamp
+}
+
+// OSUResult is an osu_bcast / osu_allreduce style latency table.
+type OSUResult struct {
+	Name   string
+	Points []OSUPoint
+}
+
+// Latency returns the measured latency for a message size, or 0.
+func (r *OSUResult) Latency(bytes int) vtime.Stamp {
+	for _, p := range r.Points {
+		if p.Bytes == bytes {
+			return p.Latency
+		}
+	}
+	return 0
+}
+
+// DefaultOSUSizes is the message-size sweep of the OSU collective latency
+// benchmarks, 4 B to 4 MiB in powers of four.
+func DefaultOSUSizes() []int {
+	var sizes []int
+	for b := 4; b <= 4<<20; b *= 4 {
+		sizes = append(sizes, b)
+	}
+	return sizes
+}
+
+// osuSweep times one collective op per size for iters iterations. runOp
+// executes the operation across the whole group starting at `at` and
+// returns the completion time of its slowest rank.
+func osuSweep(ctx *spark.Context, name string, sizes []int, iters int,
+	runOp func(g *collective.Group, size int, at vtime.Stamp) (vtime.Stamp, error)) (*OSUResult, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	g, _ := ctx.CollectiveGroup()
+	if g.Size() < 2 {
+		return nil, fmt.Errorf("ohb: %s needs at least one live executor", name)
+	}
+	res := &OSUResult{Name: name}
+	for _, size := range sizes {
+		var total vtime.Stamp
+		at := ctx.Clock()
+		// One untimed warmup iteration per size, as in the real OSU
+		// benchmarks: it keeps one-time costs (connection establishment
+		// on edges the timed algorithm is about to use) out of the
+		// steady-state numbers.
+		done, err := runOp(g, size, at)
+		if err != nil {
+			return nil, err
+		}
+		at = done
+		for i := 0; i < iters; i++ {
+			done, err := runOp(g, size, at)
+			if err != nil {
+				return nil, err
+			}
+			total += done - at
+			at = done
+		}
+		ctx.AdvanceClock(at)
+		res.Points = append(res.Points, OSUPoint{Bytes: size, Latency: total / vtime.Stamp(iters)})
+	}
+	return res, nil
+}
+
+// RunOSUBcast measures broadcast latency per message size across the
+// cluster's collective group (driver root, every executor a rank) — the
+// osu_bcast benchmark of the OSU suite, run over whichever transport the
+// cluster was built on.
+func RunOSUBcast(ctx *spark.Context, sizes []int, iters int) (*OSUResult, error) {
+	return osuSweep(ctx, "osu_bcast", sizes, iters,
+		func(g *collective.Group, size int, at vtime.Stamp) (vtime.Stamp, error) {
+			data := make([]byte, size)
+			op := collective.NextOpID()
+			var mu sync.Mutex
+			var done vtime.Stamp
+			err := g.Run(op, func(rank int) error {
+				var in []byte
+				if rank == 0 {
+					in = data
+				}
+				_, release, vt, err := g.Bcast(op, rank, 0, in, at)
+				if err != nil {
+					return err
+				}
+				release()
+				mu.Lock()
+				done = vtime.Max(done, vt)
+				mu.Unlock()
+				return nil
+			})
+			return done, err
+		})
+}
+
+// RunOSUAllreduce measures allreduce (float64 sum) latency per message
+// size — the osu_allreduce benchmark.
+func RunOSUAllreduce(ctx *spark.Context, sizes []int, iters int) (*OSUResult, error) {
+	return osuSweep(ctx, "osu_allreduce", sizes, iters,
+		func(g *collective.Group, size int, at vtime.Stamp) (vtime.Stamp, error) {
+			if size < 8 {
+				size = 8
+			}
+			size -= size % 8
+			data := make([]byte, size)
+			op := collective.NextOpID()
+			var mu sync.Mutex
+			var done vtime.Stamp
+			err := g.Run(op, func(rank int) error {
+				out, release, vt, err := g.Allreduce(op, rank, data, collective.Float64Sum, at)
+				if err != nil {
+					return err
+				}
+				_ = out // synthetic payload; only the timing matters
+				release()
+				mu.Lock()
+				done = vtime.Max(done, vt)
+				mu.Unlock()
+				return nil
+			})
+			return done, err
+		})
+}

@@ -1,0 +1,46 @@
+package ohb_test
+
+import (
+	"testing"
+
+	"mpi4spark/internal/harness"
+	"mpi4spark/internal/ohb"
+	"mpi4spark/internal/spark"
+)
+
+// benchCluster builds a small MPI-Optimized cluster for the collective
+// benchmarks; construction cost is excluded from the timed region.
+func benchCluster(b *testing.B) *harness.Cluster {
+	b.Helper()
+	cl, err := harness.BuildCluster(harness.ClusterSpec{
+		System:         harness.Frontera,
+		Workers:        4,
+		SlotsPerWorker: 1,
+		Backend:        spark.BackendMPIOpt,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	return cl
+}
+
+func BenchmarkOSUBcast4MB(b *testing.B) {
+	cl := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ohb.RunOSUBcast(cl.Ctx, []int{4 << 20}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOSUAllreduce4MB(b *testing.B) {
+	cl := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ohb.RunOSUAllreduce(cl.Ctx, []int{4 << 20}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

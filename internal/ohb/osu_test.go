@@ -1,0 +1,97 @@
+package ohb_test
+
+import (
+	"testing"
+
+	"mpi4spark/internal/harness"
+	"mpi4spark/internal/ohb"
+	"mpi4spark/internal/spark"
+	"mpi4spark/internal/vtime"
+)
+
+func osuCluster(t *testing.T, backend spark.Backend) *harness.Cluster {
+	t.Helper()
+	cl, err := harness.BuildCluster(harness.ClusterSpec{
+		System:         harness.Frontera,
+		Workers:        4,
+		SlotsPerWorker: 1,
+		Backend:        backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// TestOSUCollectiveLatencyOrdering is the acceptance check for the OSU
+// collective suite: at 4 MiB the MPI-Optimized design must be at least as
+// fast as MPI-Basic (eager chunks pipeline; rendezvous chunks handshake),
+// and both MPI designs at least as fast as the socket backends, whose
+// RPC path pays the full TCP overheads.
+func TestOSUCollectiveLatencyOrdering(t *testing.T) {
+	const size = 4 << 20
+	type measurement struct{ bcast, allreduce vtime.Stamp }
+	results := make(map[spark.Backend]measurement)
+	for _, backend := range []spark.Backend{
+		spark.BackendVanilla, spark.BackendRDMA, spark.BackendMPIBasic, spark.BackendMPIOpt,
+	} {
+		cl := osuCluster(t, backend)
+		bc, err := ohb.RunOSUBcast(cl.Ctx, []int{size}, 2)
+		if err != nil {
+			t.Fatalf("%v osu_bcast: %v", backend, err)
+		}
+		ar, err := ohb.RunOSUAllreduce(cl.Ctx, []int{size}, 2)
+		if err != nil {
+			t.Fatalf("%v osu_allreduce: %v", backend, err)
+		}
+		m := measurement{bcast: bc.Latency(size), allreduce: ar.Latency(size)}
+		if m.bcast <= 0 || m.allreduce <= 0 {
+			t.Fatalf("%v: non-positive latency %+v", backend, m)
+		}
+		results[backend] = m
+	}
+	check := func(kind string, get func(measurement) vtime.Stamp) {
+		opt, basic := get(results[spark.BackendMPIOpt]), get(results[spark.BackendMPIBasic])
+		vanilla, rdmaL := get(results[spark.BackendVanilla]), get(results[spark.BackendRDMA])
+		if opt > basic {
+			t.Errorf("%s: MPI-Opt %v slower than MPI-Basic %v", kind, opt, basic)
+		}
+		if basic > vanilla {
+			t.Errorf("%s: MPI-Basic %v slower than Vanilla %v", kind, basic, vanilla)
+		}
+		if basic > rdmaL {
+			t.Errorf("%s: MPI-Basic %v slower than RDMA %v", kind, basic, rdmaL)
+		}
+	}
+	check("osu_bcast", func(m measurement) vtime.Stamp { return m.bcast })
+	check("osu_allreduce", func(m measurement) vtime.Stamp { return m.allreduce })
+}
+
+// TestOSUSweepRunsAllSizes smoke-tests the full OSU size sweep on the
+// Optimized design.
+func TestOSUSweepRunsAllSizes(t *testing.T) {
+	cl := osuCluster(t, spark.BackendMPIOpt)
+	sizes := ohb.DefaultOSUSizes()
+	bc, err := ohb.RunOSUBcast(cl.Ctx, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.Points) != len(sizes) {
+		t.Fatalf("bcast points = %d, want %d", len(bc.Points), len(sizes))
+	}
+	prev := vtime.Stamp(0)
+	for _, p := range bc.Points[3:] { // small sizes share the latency floor
+		if p.Latency < prev {
+			t.Fatalf("bcast latency not monotonic past the floor: %v at %dB after %v", p.Latency, p.Bytes, prev)
+		}
+		prev = p.Latency
+	}
+	ar, err := ohb.RunOSUAllreduce(cl.Ctx, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Points) != len(sizes) {
+		t.Fatalf("allreduce points = %d, want %d", len(ar.Points), len(sizes))
+	}
+}

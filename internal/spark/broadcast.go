@@ -4,16 +4,29 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mpi4spark/internal/collective"
+	"mpi4spark/internal/spark/storage"
 	"mpi4spark/internal/vtime"
 )
 
+// BroadcastEndpoint is the executor-side endpoint receiving broadcast
+// control messages (currently only destroy-invalidations).
+const BroadcastEndpoint = "BroadcastManager"
+
+// broadcastDropCost models the executor CPU spent freeing a cached
+// broadcast copy on a destroy invalidation.
+const broadcastDropCost = time.Microsecond
+
 // Broadcast is a read-only variable shipped to executors once and cached
 // there, like Spark's TorrentBroadcast. The value itself stays in process
-// memory; its serialized form travels over the stream path
-// (StreamRequest/StreamResponse), which means that under the
-// MPI4Spark-Optimized design broadcast bodies cross the fabric via MPI
-// exactly as the paper describes for StreamResponse.
+// memory; its serialized form is seeded to every live executor at creation
+// time through the collective broadcast (binomial tree for small blobs, a
+// pipelined chunk chain for large ones), so the driver's link carries the
+// blob once instead of once per executor. Executors that join later — a
+// replacement after an ExecutorLost — fall back to a lazy stream fetch
+// from the driver on first use.
 type Broadcast[T any] struct {
 	id    int64
 	ctx   *Context
@@ -30,7 +43,8 @@ type broadcastState struct {
 	blobs map[string][]byte
 	// fetched[execID][streamID] records the executor-local cache arrival
 	// time; later reads on that executor are free.
-	fetched map[string]map[string]vtime.Stamp
+	fetched   map[string]map[string]vtime.Stamp
+	destroyed map[string]bool
 }
 
 func (c *Context) broadcasts() *broadcastState {
@@ -38,8 +52,9 @@ func (c *Context) broadcasts() *broadcastState {
 	defer c.mu.Unlock()
 	if c.bcast == nil {
 		c.bcast = &broadcastState{
-			blobs:   make(map[string][]byte),
-			fetched: make(map[string]map[string]vtime.Stamp),
+			blobs:     make(map[string][]byte),
+			fetched:   make(map[string]map[string]vtime.Stamp),
+			destroyed: make(map[string]bool),
 		}
 		c.driver.RegisterStreamResolver(func(streamID string) ([]byte, bool) {
 			c.bcast.mu.Lock()
@@ -51,7 +66,8 @@ func (c *Context) broadcasts() *broadcastState {
 	return c.bcast
 }
 
-// NewBroadcast registers value with the driver for distribution.
+// NewBroadcast registers value with the driver for distribution and seeds
+// it to every live executor through the collective broadcast.
 // serializedSize models the wire size of the value (pass 0 to default to
 // 1 KiB); the blob content itself is synthetic since executors share the
 // driver's address space.
@@ -61,10 +77,89 @@ func NewBroadcast[T any](ctx *Context, value T, serializedSize int) *Broadcast[T
 	}
 	b := &Broadcast[T]{id: broadcastSeq.Add(1), ctx: ctx, value: value, size: serializedSize}
 	st := ctx.broadcasts()
+	blob := make([]byte, serializedSize)
 	st.mu.Lock()
-	st.blobs[b.streamID()] = make([]byte, serializedSize)
+	st.blobs[b.streamID()] = blob
 	st.mu.Unlock()
+	ctx.seedBroadcast(b.streamID(), blob)
 	return b
+}
+
+// seedBroadcast pushes a freshly registered broadcast blob to every live
+// executor: the driver is rank 0 of a collective broadcast whose chunks
+// forward executor-to-executor, and each executor adopts its received
+// (pooled) copy into its block manager. A failed seed (an executor dying
+// mid-broadcast) leaves the lazy per-executor stream fetch as the path of
+// record.
+func (c *Context) seedBroadcast(sid string, blob []byte) {
+	group, execs := c.collectiveGroup()
+	if group.Size() < 2 {
+		return
+	}
+	st := c.broadcasts()
+	op := collective.NextOpID()
+	at := c.Clock()
+	var driverDone vtime.Stamp
+	err := group.Run(op, func(rank int) error {
+		if rank == 0 {
+			_, release, vt, err := group.Bcast(op, 0, 0, blob, at)
+			if err != nil {
+				return err
+			}
+			release()
+			driverDone = vt
+			return nil
+		}
+		e := execs[rank-1]
+		out, release, vt, err := group.Bcast(op, rank, 0, nil, at)
+		if err != nil {
+			return err
+		}
+		e.adoptBroadcast(sid, out, release)
+		st.mu.Lock()
+		cache := st.fetched[e.id]
+		if cache == nil {
+			cache = make(map[string]vtime.Stamp)
+			st.fetched[e.id] = cache
+		}
+		cache[sid] = vt
+		st.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return
+	}
+	c.AdvanceClock(driverDone)
+}
+
+// adoptBroadcast caches a seeded broadcast copy in the executor's block
+// manager (so its bytes are accounted) and keeps the pooled buffer's
+// release for Destroy.
+func (e *Executor) adoptBroadcast(sid string, data []byte, release func()) {
+	e.bm.Put(storage.BlockID(sid), data)
+	e.bcastMu.Lock()
+	if e.bcastRel == nil {
+		e.bcastRel = make(map[string]func())
+	}
+	if prev := e.bcastRel[sid]; prev != nil {
+		prev()
+	}
+	e.bcastRel[sid] = release
+	e.bcastMu.Unlock()
+}
+
+// dropBroadcast frees the executor's cached copy of a destroyed broadcast:
+// the block (and its accounted bytes) leaves the block manager and the
+// pooled buffer returns to the pool.
+func (e *Executor) dropBroadcast(sid string) {
+	e.bm.Remove(storage.BlockID(sid))
+	e.bcastMu.Lock()
+	release := e.bcastRel[sid]
+	delete(e.bcastRel, sid)
+	e.bcastMu.Unlock()
+	if release != nil {
+		release()
+	}
 }
 
 func (b *Broadcast[T]) streamID() string { return fmt.Sprintf("broadcast_%d", b.id) }
@@ -72,17 +167,23 @@ func (b *Broadcast[T]) streamID() string { return fmt.Sprintf("broadcast_%d", b.
 // ID returns the broadcast's identifier.
 func (b *Broadcast[T]) ID() int64 { return b.id }
 
-// Value fetches (on first use per executor) and returns the broadcast
-// value inside a task. The first task to touch the broadcast on an
-// executor pays the stream transfer from the driver; later tasks hit the
-// executor-local cache.
+// Value fetches (on seed-miss first use per executor) and returns the
+// broadcast value inside a task. Executors seeded at creation time hit
+// their local cache; a later joiner pays one stream transfer from the
+// driver. Value panics if the broadcast was destroyed.
 func (b *Broadcast[T]) Value(tc *TaskContext) T {
+	st := b.ctx.broadcasts()
+	sid := b.streamID()
+	st.mu.Lock()
+	dead := st.destroyed[sid]
+	st.mu.Unlock()
+	if dead {
+		panic(fmt.Sprintf("spark: Value on destroyed broadcast %d", b.id))
+	}
 	e := tc.exec
 	if e == nil {
 		return b.value // driver-local use
 	}
-	st := b.ctx.broadcasts()
-	sid := b.streamID()
 
 	st.mu.Lock()
 	cache := st.fetched[e.id]
@@ -111,12 +212,34 @@ func (b *Broadcast[T]) Value(tc *TaskContext) T {
 	return b.value
 }
 
-// Destroy drops the broadcast's blob from the driver; executors' cached
-// copies remain usable (Spark's destroy semantics are stricter, but
-// workloads here never read after destroy).
+// Destroy removes the broadcast everywhere: the driver drops its blob and
+// every live executor is told to free its cached copy (block-manager bytes
+// included). Reading a destroyed broadcast panics, matching Spark's
+// destroy semantics.
 func (b *Broadcast[T]) Destroy() {
 	st := b.ctx.broadcasts()
+	sid := b.streamID()
 	st.mu.Lock()
-	delete(st.blobs, b.streamID())
+	if st.destroyed[sid] {
+		st.mu.Unlock()
+		return
+	}
+	st.destroyed[sid] = true
+	delete(st.blobs, sid)
 	st.mu.Unlock()
+
+	at := b.ctx.Clock()
+	done := at
+	for _, e := range b.ctx.Executors() {
+		if e.dead.Load() {
+			continue
+		}
+		if _, vt, err := b.ctx.driver.Ask(e.env.Addr(), BroadcastEndpoint, []byte(sid), at); err == nil {
+			done = vtime.Max(done, vt)
+		}
+		st.mu.Lock()
+		delete(st.fetched[e.id], sid)
+		st.mu.Unlock()
+	}
+	b.ctx.AdvanceClock(done)
 }

@@ -1,0 +1,44 @@
+package spark
+
+import (
+	"mpi4spark/internal/collective"
+)
+
+// collectiveConfig builds the collective layer's configuration from the
+// context knobs. The deploy layers cap CollectiveChunkBytes at the MPI
+// eager threshold for the Optimized design, the same rule the shuffle
+// chunking follows.
+func (c *Context) collectiveConfig() collective.Config {
+	return collective.Config{
+		ChunkBytes: c.cfg.CollectiveChunkBytes,
+		SmallLimit: c.cfg.CollectiveSmallLimit,
+	}
+}
+
+// collectiveGroup assembles a fresh collective group over the driver
+// (rank 0) and the currently-live executors (rank i+1 is execs[i]). Dead
+// executors are skipped, so collectives keep working after an
+// ExecutorLost; a group is cheap to build and is assembled per operation
+// against the current cluster membership.
+func (c *Context) collectiveGroup() (*collective.Group, []*Executor) {
+	c.mu.Lock()
+	snapshot := append([]*Executor(nil), c.executors...)
+	c.mu.Unlock()
+	members := []*collective.Station{c.collDriver}
+	var execs []*Executor
+	for _, e := range snapshot {
+		if e.dead.Load() || e.coll == nil {
+			continue
+		}
+		members = append(members, e.coll)
+		execs = append(execs, e)
+	}
+	return collective.NewGroup(c.collectiveConfig(), members), execs
+}
+
+// CollectiveGroup exposes the driver+executors collective group (driver is
+// rank 0; Executors()[i] maps to rank i+1) for benchmark harnesses such as
+// the OSU-style OHB collective latency suites.
+func (c *Context) CollectiveGroup() (*collective.Group, []*Executor) {
+	return c.collectiveGroup()
+}

@@ -1,0 +1,187 @@
+package spark
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestBroadcastSeedMovesOBOverDriverLink is the acceptance check for the
+// collective broadcast wiring: seeding a B-byte blob to E executors must
+// move O(B) bytes over the driver's link (the chunk chain forwards
+// executor-to-executor), not the E·B of a driver fan-out.
+func TestBroadcastSeedMovesOBOverDriverLink(t *testing.T) {
+	const B = 4 << 20
+	const workers = 5
+	c := newTestCluster(t, workers, 1, BackendVanilla)
+	driverNode := c.ctx.Driver().Node()
+	driverNode.ResetTraffic()
+	b := NewBroadcast(c.ctx, int64(7), B)
+	defer b.Destroy()
+	tx := driverNode.TxBytes()
+	if tx < B {
+		t.Fatalf("driver tx = %d, want >= blob size %d", tx, B)
+	}
+	if tx > B+B/4 {
+		t.Fatalf("driver tx = %d for a %d-byte blob: not O(B); fan-out would be %d", tx, B, workers*B)
+	}
+	// Every executor must hold the seeded copy.
+	for _, e := range c.ctx.Executors() {
+		if e.BlockManager().StoredBytes() < B {
+			t.Fatalf("executor %s stores %d bytes, want >= %d", e.ID(), e.BlockManager().StoredBytes(), B)
+		}
+	}
+}
+
+// TestBroadcastDestroyFreesExecutorCopies checks the destroy invalidation
+// propagates: cached copies and their accounted bytes leave every
+// executor, and reading afterwards panics.
+func TestBroadcastDestroyFreesExecutorCopies(t *testing.T) {
+	c := newTestCluster(t, 3, 1, BackendVanilla)
+	baseline := make(map[string]int64)
+	for _, e := range c.ctx.Executors() {
+		baseline[e.ID()] = e.BlockManager().StoredBytes()
+	}
+	b := NewBroadcast(c.ctx, "payload", 1<<20)
+	for _, e := range c.ctx.Executors() {
+		if got := e.BlockManager().StoredBytes(); got != baseline[e.ID()]+1<<20 {
+			t.Fatalf("executor %s stores %d bytes after seed, want %d", e.ID(), got, baseline[e.ID()]+1<<20)
+		}
+	}
+	before := c.ctx.Clock()
+	b.Destroy()
+	if c.ctx.Clock() <= before {
+		t.Fatal("destroy did not advance the clock (no invalidation traffic)")
+	}
+	for _, e := range c.ctx.Executors() {
+		if got := e.BlockManager().StoredBytes(); got != baseline[e.ID()] {
+			t.Fatalf("executor %s stores %d bytes after destroy, want %d", e.ID(), got, baseline[e.ID()])
+		}
+	}
+	b.Destroy() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value on destroyed broadcast did not panic")
+		}
+	}()
+	b.Value(&TaskContext{})
+}
+
+func TestTreeAggregateMatchesReference(t *testing.T) {
+	// Small (binomial reduce) and large (ring allreduce) vector paths;
+	// integer-valued floats make the sum order-independent and exact.
+	for _, dim := range []int{16, 12000} {
+		c := newTestCluster(t, 3, 2, BackendVanilla)
+		const parts = 6
+		data := Generate(c.ctx, parts, func(part int, tc *TaskContext) []int64 {
+			out := make([]int64, 50)
+			for i := range out {
+				out[i] = int64(part*50 + i)
+			}
+			return out
+		})
+		got, err := TreeAggregate(data, dim, func(part int, tc *TaskContext, items []int64) []float64 {
+			v := make([]float64, dim)
+			for _, x := range items {
+				v[int(x)%dim] += float64(x)
+			}
+			return v
+		})
+		if err != nil {
+			t.Fatalf("dim=%d: %v", dim, err)
+		}
+		want := make([]float64, dim)
+		for part := 0; part < parts; part++ {
+			for i := 0; i < 50; i++ {
+				x := int64(part*50 + i)
+				want[int(x)%dim] += float64(x)
+			}
+		}
+		if len(got) != dim {
+			t.Fatalf("dim=%d: result has %d elements", dim, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dim=%d elem %d: got %v want %v", dim, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTreeReduceMatchesReduce(t *testing.T) {
+	c := newTestCluster(t, 3, 2, BackendVanilla)
+	data := Generate(c.ctx, 5, func(part int, tc *TaskContext) []int64 {
+		out := make([]int64, 20)
+		for i := range out {
+			out[i] = int64(part*100 + i)
+		}
+		return out
+	})
+	enc := func(v int64) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, uint64(v))
+		return b
+	}
+	dec := func(b []byte) int64 { return int64(binary.BigEndian.Uint64(b)) }
+	max := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	got, err := TreeReduce(data, max, enc, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 419 {
+		t.Fatalf("TreeReduce max = %d, want 419", got)
+	}
+}
+
+func TestTreeReduceEmptyRDD(t *testing.T) {
+	c := newTestCluster(t, 2, 1, BackendVanilla)
+	data := Generate(c.ctx, 3, func(part int, tc *TaskContext) []int64 { return nil })
+	enc := func(v int64) []byte { return make([]byte, 8) }
+	dec := func(b []byte) int64 { return 0 }
+	_, err := TreeReduce(data, func(a, b int64) int64 { return a + b }, enc, dec)
+	if err != ErrEmptyRDD {
+		t.Fatalf("err = %v, want ErrEmptyRDD", err)
+	}
+}
+
+// TestConcurrentBroadcasts creates and destroys broadcasts from many
+// goroutines while jobs read them — the overlapping-stages shape the CI
+// race shard runs.
+func TestConcurrentBroadcasts(t *testing.T) {
+	c := newTestCluster(t, 3, 2, BackendVanilla)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := NewBroadcast(c.ctx, int64(i), 256<<10)
+			data := Generate(c.ctx, 3, func(part int, tc *TaskContext) []int64 {
+				return []int64{b.Value(tc)}
+			})
+			out, err := Collect(data)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for _, v := range out {
+				if v != int64(i) {
+					errCh <- fmt.Errorf("broadcast %d read %d", i, v)
+					return
+				}
+			}
+			b.Destroy()
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpi4spark/internal/collective"
 	"mpi4spark/internal/spark/rpc"
 	"mpi4spark/internal/spark/shuffle"
 	"mpi4spark/internal/vtime"
@@ -66,6 +67,15 @@ type Config struct {
 	// before declaring an executor lost (spark.network.timeout flavored).
 	// Zero with supervision enabled defaults to 6*HeartbeatInterval.
 	ExecutorTimeout time.Duration
+	// CollectiveChunkBytes bounds one chunk of a collective operation
+	// (broadcast pipeline, ring allreduce step). The MPI-Optimized
+	// deployment caps it at the MPI eager threshold, the same rule as
+	// ShuffleChunkBytes. Default collective.DefaultChunkBytes.
+	CollectiveChunkBytes int
+	// CollectiveSmallLimit is the payload size at or below which
+	// collectives use latency-optimal binomial trees instead of chunked
+	// bandwidth-optimal pipelines. Default collective.DefaultSmallLimit.
+	CollectiveSmallLimit int
 }
 
 // Default supervision knobs, used by harness.BuildCluster and the examples
@@ -181,6 +191,7 @@ type Context struct {
 	doneShuffles map[int]bool
 	rrNext       int
 	bcast        *broadcastState
+	collDriver   *collective.Station
 	unhealthy    map[string]bool   // executors excluded from placement
 	runningOn    map[int64]string  // task id -> executor currently running it
 	lostExecs    map[string]bool   // executors already declared lost
@@ -228,6 +239,12 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 	if cfg.HeartbeatInterval > 0 && cfg.ExecutorTimeout <= 0 {
 		cfg.ExecutorTimeout = 6 * cfg.HeartbeatInterval
 	}
+	if cfg.CollectiveChunkBytes <= 0 {
+		cfg.CollectiveChunkBytes = collective.DefaultChunkBytes
+	}
+	if cfg.CollectiveSmallLimit <= 0 {
+		cfg.CollectiveSmallLimit = collective.DefaultSmallLimit
+	}
 	if len(executors) == 0 {
 		return nil, fmt.Errorf("spark: context needs at least one executor")
 	}
@@ -273,6 +290,7 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 	if err := driver.RegisterEndpoint(HeartbeatEndpoint, c.receiveHeartbeat); err != nil {
 		return nil, err
 	}
+	c.collDriver = collective.NewStation(driver)
 	for _, e := range executors {
 		if err := e.Attach(c); err != nil {
 			return nil, err

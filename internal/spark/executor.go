@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mpi4spark/internal/collective"
 	"mpi4spark/internal/fabric"
 	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/rdma"
@@ -87,6 +88,13 @@ type Executor struct {
 
 	cacheMu sync.RWMutex
 	cached  map[cacheKey]any
+
+	// coll is the executor's collective-communication attachment point
+	// (created at Attach); bcastRel maps broadcast stream ids to the
+	// release funcs of their pooled executor-side copies.
+	coll     *collective.Station
+	bcastMu  sync.Mutex
+	bcastRel map[string]func()
 
 	ctx *Context
 
@@ -198,6 +206,13 @@ func (e *Executor) Attach(ctx *Context) error {
 	e.sm.Retry = ctx.shuffleRetryPolicy()
 	e.sm.ChunkBytes = ctx.cfg.ShuffleChunkBytes
 	e.sm.MaxBytesInFlight = ctx.cfg.ShuffleMaxBytesInFlight
+	e.coll = collective.NewStation(e.env)
+	if err := e.env.RegisterEndpoint(BroadcastEndpoint, func(c *rpc.Call) {
+		e.dropBroadcast(string(c.Payload))
+		c.Reply([]byte{1}, c.VT.Add(broadcastDropCost))
+	}); err != nil {
+		return err
+	}
 	return e.env.RegisterEndpoint(ExecutorEndpoint, func(c *rpc.Call) {
 		if len(c.Payload) < 8 {
 			return

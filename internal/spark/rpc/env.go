@@ -143,6 +143,8 @@ type Env struct {
 	chunkClock     vtime.Clock
 	chunkResolver  func(blockID string) ([]byte, bool)
 	streamResolver func(streamID string) ([]byte, bool)
+	collectiveSink func(m *CollectiveChunk, vt vtime.Stamp)
+	onShutdown     []func()
 
 	// OnChannelActive, when set, observes every new channel (diagnostics
 	// and the connection-establishment rank exchange in internal/core).
@@ -287,6 +289,13 @@ func (h *dispatchHandler) ChannelRead(ctx *netty.Context, msg any) {
 		e.serveBatch(ch, m, vt)
 	case *BlockBatchChunk:
 		e.resolveBatchChunk(m, vt)
+	case *CollectiveChunk:
+		e.mu.Lock()
+		sink := e.collectiveSink
+		e.mu.Unlock()
+		if sink != nil {
+			sink(m, vt)
+		}
 	case *StreamRequest:
 		e.serveStream(ch, m, vt)
 	case *StreamResponse:
@@ -788,6 +797,39 @@ func (e *Env) RegisterStreamResolver(fn func(streamID string) ([]byte, bool)) {
 	e.mu.Unlock()
 }
 
+// RegisterCollectiveSink installs the receiver for inbound CollectiveChunk
+// messages (the collective layer's station). The sink runs on the channel's
+// dispatch path and must not block.
+func (e *Env) RegisterCollectiveSink(fn func(m *CollectiveChunk, vt vtime.Stamp)) {
+	e.mu.Lock()
+	e.collectiveSink = fn
+	e.mu.Unlock()
+}
+
+// OnShutdown registers fn to run when the environment shuts down, after
+// pending asks are failed. The collective layer uses it to fail blocked
+// collective receives instead of hanging them.
+func (e *Env) OnShutdown(fn func()) {
+	e.mu.Lock()
+	e.onShutdown = append(e.onShutdown, fn)
+	e.mu.Unlock()
+}
+
+// SendCollective delivers one collective chunk to the peer environment. It
+// returns the time the sender's CPU is free. Unlike Ask-style calls there
+// is no reply: matching is the collective layer's job.
+func (e *Env) SendCollective(peer fabric.Addr, m *CollectiveChunk, at vtime.Stamp) (vtime.Stamp, error) {
+	ch, vt, err := e.connTo(peer, at)
+	if err != nil {
+		return at, err
+	}
+	free := ch.Write(m, vt)
+	if conn := ch.Conn(); conn != nil && conn.Closed() {
+		return free, fmt.Errorf("%w: channel %s", ErrConnectionLost, ch.ID())
+	}
+	return free, nil
+}
+
 // connTo returns a (cached) channel to the peer environment at addr.
 func (e *Env) connTo(addr fabric.Addr, at vtime.Stamp) (*netty.Channel, vtime.Stamp, error) {
 	key := addr.String()
@@ -905,6 +947,8 @@ func (e *Env) Shutdown() {
 	pending := e.pending
 	streams := e.streamPending
 	batches := e.batches
+	shutdownFns := e.onShutdown
+	e.onShutdown = nil
 	e.pending = make(map[int64]*pendingAsk)
 	e.streamPending = nil
 	e.batches = make(map[int64]*pendingBatch)
@@ -924,6 +968,9 @@ func (e *Env) Shutdown() {
 	}
 	for _, b := range batches {
 		close(b.done)
+	}
+	for _, fn := range shutdownFns {
+		fn()
 	}
 	for _, ep := range eps {
 		ep.close()

@@ -39,6 +39,10 @@ const (
 	// TypeBlockBatchChunk is one bounded-size piece of a batched block
 	// reply. A batch streams as a sequence of these.
 	TypeBlockBatchChunk
+	// TypeCollectiveChunk is one bounded-size piece of a collective
+	// operation (tree broadcast, binomial reduce, ring allreduce) flowing
+	// rank-to-rank through the collective layer.
+	TypeCollectiveChunk
 )
 
 // String names the message type.
@@ -64,6 +68,8 @@ func (t MsgType) String() string {
 		return "FetchBlocksRequest"
 	case TypeBlockBatchChunk:
 		return "BlockBatchChunk"
+	case TypeCollectiveChunk:
+		return "CollectiveChunk"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -319,6 +325,58 @@ func (m *BlockBatchChunk) Encode(buf *bytebuf.Buf) {
 	}
 }
 
+// CollectiveChunk carries one bounded-size piece of one rank's collective
+// transfer. OpID identifies the operation, Tag the transfer edge within it
+// (chunk index, tree level, or ring step — the algorithms assign tags so
+// that at most one in-flight transfer per (OpID, Tag) targets a given
+// rank), and Src the sending rank. Offset and Total let the receiver
+// reassemble multi-chunk transfers. Like the shuffle's BlockBatchChunk it
+// is a MessageWithHeader on the Optimized design: the body ships as one
+// eager/rendezvous MPI message and the header stays on the socket
+// (BodyViaMPI/BodySize/BodyTag).
+type CollectiveChunk struct {
+	OpID       int64
+	Tag        uint32
+	Src        uint32
+	Total      uint64
+	Offset     uint64
+	Body       []byte
+	BodyViaMPI bool
+	BodySize   int
+	BodyTag    int
+}
+
+// Type implements Message.
+func (m *CollectiveChunk) Type() MsgType { return TypeCollectiveChunk }
+
+// WireSize implements Message.
+func (m *CollectiveChunk) WireSize() int {
+	n := 1 + 8 + 4 + 4 + 8 + 8
+	if m.BodyViaMPI {
+		return n + 1 + 8 + 8
+	}
+	return n + 1 + 8 + len(m.Body)
+}
+
+// Encode implements Message.
+func (m *CollectiveChunk) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypeCollectiveChunk))
+	buf.WriteInt64(m.OpID)
+	buf.WriteUint32(m.Tag)
+	buf.WriteUint32(m.Src)
+	buf.WriteUint64(m.Total)
+	buf.WriteUint64(m.Offset)
+	if m.BodyViaMPI {
+		buf.WriteByte(1)
+		buf.WriteUint64(uint64(m.BodySize))
+		buf.WriteInt64(int64(m.BodyTag))
+	} else {
+		buf.WriteByte(0)
+		buf.WriteUint64(uint64(len(m.Body)))
+		buf.WriteBytes(m.Body)
+	}
+}
+
 // StreamRequest opens a stream (jar/file distribution in Spark).
 type StreamRequest struct {
 	StreamID string
@@ -495,6 +553,27 @@ func Decode(buf *bytebuf.Buf) (Message, error) {
 			return nil, err
 		}
 		m.Missing = miss == 1
+		if m.Total, err = buf.ReadUint64(); err != nil {
+			return nil, err
+		}
+		if m.Offset, err = buf.ReadUint64(); err != nil {
+			return nil, err
+		}
+		if err := decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeCollectiveChunk:
+		m := &CollectiveChunk{}
+		if m.OpID, err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+		if m.Tag, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
+		if m.Src, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
 		if m.Total, err = buf.ReadUint64(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,222 @@
+package spark
+
+import (
+	"sync"
+
+	"mpi4spark/internal/collective"
+	"mpi4spark/internal/vtime"
+)
+
+// TreeAggregate aggregates dim-wide float64 vectors produced per partition
+// by seq, combining element-wise by addition. Unlike Aggregate, partition
+// results never fan into the driver: each executor folds its partitions'
+// vectors into one executor-local accumulator during the job, and the
+// per-executor accumulators are then combined with a collective — a
+// binomial tree reduce for small vectors, a chunked ring allreduce for
+// large ones — so the final combine is O(log E) or bandwidth-optimal
+// instead of E point-to-point transfers. This is the simulation's
+// counterpart of Spark's RDD.treeAggregate, the aggregation path of MLlib
+// (LR, SVM, KMeans, GMM gradient/statistics summing).
+func TreeAggregate[T any](r *RDD[T], dim int, seq func(part int, tc *TaskContext, items []T) []float64) ([]float64, error) {
+	// Per-partition results are kept and folded in partition order at
+	// combine time: folding as tasks finish would make the float addition
+	// order depend on goroutine scheduling and break run-to-run
+	// determinism. A stage retry can recompute a partition; the map keeps
+	// only one result per partition.
+	var mu sync.Mutex
+	partials := make(map[int][]float64)
+	homes := make(map[int]string) // partition -> executor that computed it
+	probe := MapPartitions(r, func(part int, tc *TaskContext, items []T) ([]struct{}, error) {
+		v := seq(part, tc, items)
+		mu.Lock()
+		defer mu.Unlock()
+		if _, done := partials[part]; !done {
+			partials[part] = v
+			homes[part] = tc.ExecutorID()
+		}
+		return nil, nil
+	})
+	if err := r.ctx.runJob(probe, func(any) int { return 16 }, func(int, any) {}); err != nil {
+		return nil, err
+	}
+	accs := make(map[string][]float64)
+	for part := 0; part < r.nParts; part++ {
+		v, ok := partials[part]
+		if !ok {
+			continue
+		}
+		a := accs[homes[part]]
+		if a == nil {
+			a = make([]float64, dim)
+			accs[homes[part]] = a
+		}
+		for i := 0; i < len(v) && i < dim; i++ {
+			a[i] += v[i]
+		}
+	}
+	return r.ctx.combineExecutorVectors(dim, accs)
+}
+
+// combineExecutorVectors runs the collective combine of TreeAggregate: the
+// driver (rank 0, contributing zeros) and every live executor reduce their
+// vectors. If the collective fails (an executor died mid-op), the combine
+// falls back to a driver-local sum — the numbers stay right and only the
+// communication modeling of this one combine is lost.
+func (c *Context) combineExecutorVectors(dim int, accs map[string][]float64) ([]float64, error) {
+	group, execs := c.collectiveGroup()
+	payloadLen := 8 * dim
+	if group.Size() >= 2 {
+		op := collective.NextOpID()
+		at := c.Clock()
+		var result []float64
+		var driverDone vtime.Stamp
+		err := group.Run(op, func(rank int) error {
+			var in []byte
+			if rank == 0 {
+				in = make([]byte, payloadLen) // driver contributes zeros
+			} else {
+				v := accs[execs[rank-1].id]
+				if v == nil {
+					v = make([]float64, dim)
+				}
+				in = collective.EncodeFloat64s(v)
+			}
+			if payloadLen <= group.Config().SmallLimit {
+				out, vt, err := group.Reduce(op, rank, 0, in, collective.Float64Sum, at)
+				if err != nil {
+					return err
+				}
+				if rank == 0 {
+					result = collective.DecodeFloat64s(out)
+					driverDone = vt
+				}
+				return nil
+			}
+			out, release, vt, err := group.Allreduce(op, rank, in, collective.Float64Sum, at)
+			if err != nil {
+				return err
+			}
+			if rank == 0 {
+				result = collective.DecodeFloat64s(out)
+				driverDone = vt
+			}
+			release()
+			return nil
+		})
+		if err == nil {
+			c.AdvanceClock(driverDone)
+			return result, nil
+		}
+	}
+	// Driver-local fallback (single-executor context or failed collective).
+	out := make([]float64, dim)
+	for _, v := range accs {
+		for i := 0; i < len(v) && i < dim; i++ {
+			out[i] += v[i]
+		}
+	}
+	return out, nil
+}
+
+// TreeReduce combines every record with f (associative and commutative)
+// like Reduce, but the per-executor partials ride a binomial tree reduce
+// to the driver instead of all fanning into it. enc/dec model the
+// serialized form the tree edges carry (variable length is fine — the
+// reduce path is always binomial, never the equal-length ring).
+func TreeReduce[T any](r *RDD[T], f func(a, b T) T, enc func(T) []byte, dec func([]byte) T) (T, error) {
+	var zero T
+	var mu sync.Mutex
+	partials := make(map[int]*T)
+	homes := make(map[int]string)
+	probe := MapPartitions(r, func(part int, tc *TaskContext, items []T) ([]struct{}, error) {
+		if len(items) == 0 {
+			return nil, nil
+		}
+		acc := items[0]
+		for _, v := range items[1:] {
+			acc = f(acc, v)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if _, done := partials[part]; !done {
+			partials[part] = &acc
+			homes[part] = tc.ExecutorID()
+		}
+		return nil, nil
+	})
+	if err := r.ctx.runJob(probe, func(any) int { return 16 }, func(int, any) {}); err != nil {
+		return zero, err
+	}
+	// Fold per-executor in partition order (see TreeAggregate).
+	accs := make(map[string]*T)
+	for part := 0; part < r.nParts; part++ {
+		p := partials[part]
+		if p == nil {
+			continue
+		}
+		if prev := accs[homes[part]]; prev != nil {
+			merged := f(*prev, *p)
+			accs[homes[part]] = &merged
+		} else {
+			accs[homes[part]] = p
+		}
+	}
+
+	rop := collective.ReduceOp{Align: 1, Combine: func(dst, src []byte) []byte {
+		// Empty means identity (an executor that held no records).
+		if len(src) == 0 {
+			return dst
+		}
+		if len(dst) == 0 {
+			return append([]byte(nil), src...)
+		}
+		return enc(f(dec(dst), dec(src)))
+	}}
+	c := r.ctx
+	group, execs := c.collectiveGroup()
+	if group.Size() >= 2 {
+		op := collective.NextOpID()
+		at := c.Clock()
+		var result []byte
+		var driverDone vtime.Stamp
+		err := group.Run(op, func(rank int) error {
+			var in []byte
+			if rank > 0 {
+				if p := accs[execs[rank-1].id]; p != nil {
+					in = enc(*p)
+				}
+			}
+			out, vt, err := group.Reduce(op, rank, 0, in, rop, at)
+			if rank == 0 {
+				result = out
+				driverDone = vt
+			}
+			return err
+		})
+		if err == nil {
+			c.AdvanceClock(driverDone)
+			if len(result) == 0 {
+				return zero, ErrEmptyRDD
+			}
+			return dec(result), nil
+		}
+	}
+	// Driver-local fallback.
+	var acc *T
+	for _, p := range accs {
+		if p == nil {
+			continue
+		}
+		if acc == nil {
+			v := *p
+			acc = &v
+		} else {
+			v := f(*acc, *p)
+			acc = &v
+		}
+	}
+	if acc == nil {
+		return zero, ErrEmptyRDD
+	}
+	return *acc, nil
+}
