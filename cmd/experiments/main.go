@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -33,6 +34,7 @@ func main() {
 		seed           = flag.Int64("seed", 2022, "deterministic data seed")
 		markdown       = flag.Bool("md", false, "emit Markdown instead of aligned text")
 		listSystems    = flag.Bool("list-systems", false, "print the Table III system profiles and exit")
+		showCounters   = flag.Bool("counters", false, "print per-run counter deltas after each experiment")
 	)
 	flag.Parse()
 
@@ -66,6 +68,14 @@ func main() {
 	}
 
 	run := func(name string) {
+		// Counters are process-global and accumulate across experiments in
+		// one invocation; snapshot so each run reports only its own deltas.
+		snap := metrics.Snapshot()
+		defer func() {
+			if *showCounters {
+				emitCounterDeltas(name, snap.Delta(), *markdown)
+			}
+		}()
 		switch name {
 		case "fig8":
 			_, t, err := harness.RunFig8(nil)
@@ -110,6 +120,22 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+func emitCounterDeltas(name string, deltas map[string]int64, markdown bool) {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Counter deltas: %s", name),
+		Columns: []string{"Counter", "Delta"},
+	}
+	names := make([]string, 0, len(deltas))
+	for n := range deltas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t.AddRow(n, deltas[n])
+	}
+	emit(t, markdown)
 }
 
 func emit(t *metrics.Table, markdown bool) {

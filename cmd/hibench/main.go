@@ -29,6 +29,7 @@ func main() {
 		iterations  = flag.Int("iterations", 3, "ML iteration count")
 		seed        = flag.Int64("seed", 2022, "data seed")
 		markdown    = flag.Bool("md", false, "emit Markdown")
+		eventLog    = flag.String("eventlog", "", "record lifecycle events as JSONL at this path (replay with cmd/eventlog)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		Workers:        *workers,
 		Backend:        backend,
 		SlotsPerWorker: *slots,
+		EventLogPath:   *eventLog,
 	})
 	if err != nil {
 		fatal(err)

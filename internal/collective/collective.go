@@ -126,10 +126,29 @@ func NextOpID() int64 { return opSeq.Add(1) }
 // through the stations' wire addresses, so the group works across every
 // transport the environments were built on.
 type Group struct {
-	cfg     Config
-	members []*Station
-	addrs   []fabric.Addr
+	cfg      Config
+	members  []*Station
+	addrs    []fabric.Addr
+	observer func(OpInfo)
 }
+
+// OpInfo describes one completed collective operation for observers:
+// the op id, its algorithm family ("bcast" | "reduce" | "allreduce"),
+// the per-rank payload size, the group width, and the first error (nil
+// on success).
+type OpInfo struct {
+	Op    int64
+	Kind  string
+	Bytes int
+	Ranks int
+	Err   error
+}
+
+// SetObserver installs a hook notified once per Run, after the op
+// completes on every rank. The driver's observability layer uses it to
+// emit CollectiveOp events. Install before running ops; not safe to swap
+// concurrently with Run.
+func (g *Group) SetObserver(f func(OpInfo)) { g.observer = f }
 
 // NewGroup builds a group over the given stations (rank order).
 func NewGroup(cfg Config, members []*Station) *Group {
@@ -156,9 +175,10 @@ func (g *Group) Abort(op int64, err error) {
 
 // Run drives one collective operation: fn(rank) runs concurrently for
 // every rank, and any rank's failure aborts the op on all members so no
-// sibling blocks forever on chunks a failed rank will never send. It
-// returns the first error.
-func (g *Group) Run(op int64, fn func(rank int) error) error {
+// sibling blocks forever on chunks a failed rank will never send. kind
+// and bytes describe the op for the group's observer (see OpInfo); they
+// do not affect execution. Run returns the first error.
+func (g *Group) Run(op int64, kind string, bytes int, fn func(rank int) error) error {
 	errs := make([]error, len(g.members))
 	var wg sync.WaitGroup
 	for r := range g.members {
@@ -172,12 +192,17 @@ func (g *Group) Run(op int64, fn func(rank int) error) error {
 		}(r)
 	}
 	wg.Wait()
+	var first error
 	for _, err := range errs {
 		if err != nil {
-			return err
+			first = err
+			break
 		}
 	}
-	return nil
+	if g.observer != nil {
+		g.observer(OpInfo{Op: op, Kind: kind, Bytes: bytes, Ranks: len(g.members), Err: first})
+	}
+	return first
 }
 
 // realRank maps a virtual rank (root-relative) back to a group rank.

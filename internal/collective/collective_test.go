@@ -62,7 +62,7 @@ func TestBcastSizesAndRanks(t *testing.T) {
 				op := NextOpID()
 				var mu sync.Mutex
 				got := make(map[int][]byte)
-				err := fx.group.Run(op, func(rank int) error {
+				err := fx.group.Run(op, "bcast", size, func(rank int) error {
 					out, release, _, err := fx.group.Bcast(op, rank, root, data, 0)
 					if err != nil {
 						return err
@@ -104,7 +104,7 @@ func TestReduceFloat64Sum(t *testing.T) {
 				inputs[r] = EncodeFloat64s(v)
 			}
 			var root []byte
-			err := fx.group.Run(op, func(rank int) error {
+			err := fx.group.Run(op, "reduce", 8*vecLen, func(rank int) error {
 				out, _, err := fx.group.Reduce(op, rank, 0, inputs[rank], Float64Sum, 0)
 				if rank == 0 {
 					root = out
@@ -148,7 +148,7 @@ func TestAllreduceSmallAndRing(t *testing.T) {
 			}
 			var mu sync.Mutex
 			got := make(map[int][]float64)
-			err := fx.group.Run(op, func(rank int) error {
+			err := fx.group.Run(op, "allreduce", 8*vecLen, func(rank int) error {
 				out, release, _, err := fx.group.Allreduce(op, rank, inputs[rank], Float64Sum, 0)
 				if err != nil {
 					return err
@@ -188,7 +188,7 @@ func TestBcastRootLinkIsOB(t *testing.T) {
 	data := pattern(B)
 	op := NextOpID()
 	fx.nodes[0].ResetTraffic()
-	err := fx.group.Run(op, func(rank int) error {
+	err := fx.group.Run(op, "bcast", B, func(rank int) error {
 		out, release, _, err := fx.group.Bcast(op, rank, 0, data, 0)
 		if err != nil {
 			return err
@@ -221,7 +221,7 @@ func TestCollectiveDeterminism(t *testing.T) {
 		op := NextOpID()
 		var mu sync.Mutex
 		var maxVT vtime.Stamp
-		err := fx.group.Run(op, func(rank int) error {
+		err := fx.group.Run(op, "bcast", len(data), func(rank int) error {
 			_, release, vt, err := fx.group.Bcast(op, rank, 0, data, 0)
 			if err != nil {
 				return err
@@ -250,17 +250,11 @@ func TestCollectiveMetricsCounters(t *testing.T) {
 	cfg := Config{ChunkBytes: 1024, SmallLimit: 64}
 	fx := makeFixture(t, 3, fabric.NewZeroModel(), cfg)
 
-	before := map[string]int64{}
-	for _, name := range []string{
-		metrics.CollectiveBcastOps, metrics.CollectiveBcastBytes, metrics.CollectiveBcastChunks,
-		metrics.CollectiveAllreduceOps, metrics.CollectiveAllreduceBytes, metrics.CollectiveAllreduceChunks,
-	} {
-		before[name] = metrics.CounterValue(name)
-	}
+	before := metrics.Snapshot()
 
 	data := pattern(5000)
 	op := NextOpID()
-	if err := fx.group.Run(op, func(rank int) error {
+	if err := fx.group.Run(op, "bcast", len(data), func(rank int) error {
 		_, release, _, err := fx.group.Bcast(op, rank, 0, data, 0)
 		if err == nil {
 			release()
@@ -271,7 +265,7 @@ func TestCollectiveMetricsCounters(t *testing.T) {
 	}
 	vec := EncodeFloat64s(make([]float64, 400))
 	op2 := NextOpID()
-	if err := fx.group.Run(op2, func(rank int) error {
+	if err := fx.group.Run(op2, "allreduce", len(vec), func(rank int) error {
 		_, release, _, err := fx.group.Allreduce(op2, rank, vec, Float64Sum, 0)
 		if err == nil {
 			release()
@@ -281,22 +275,22 @@ func TestCollectiveMetricsCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if d := metrics.CounterValue(metrics.CollectiveBcastOps) - before[metrics.CollectiveBcastOps]; d != 1 {
+	if d := before.DeltaValue(metrics.CollectiveBcastOps); d != 1 {
 		t.Fatalf("bcast ops delta = %d, want 1", d)
 	}
-	if d := metrics.CounterValue(metrics.CollectiveBcastBytes) - before[metrics.CollectiveBcastBytes]; d != 5000 {
+	if d := before.DeltaValue(metrics.CollectiveBcastBytes); d != 5000 {
 		t.Fatalf("bcast bytes delta = %d, want 5000", d)
 	}
-	if d := metrics.CounterValue(metrics.CollectiveBcastChunks) - before[metrics.CollectiveBcastChunks]; d <= 0 {
+	if d := before.DeltaValue(metrics.CollectiveBcastChunks); d <= 0 {
 		t.Fatalf("bcast chunks delta = %d, want > 0", d)
 	}
-	if d := metrics.CounterValue(metrics.CollectiveAllreduceOps) - before[metrics.CollectiveAllreduceOps]; d != 1 {
+	if d := before.DeltaValue(metrics.CollectiveAllreduceOps); d != 1 {
 		t.Fatalf("allreduce ops delta = %d, want 1", d)
 	}
-	if d := metrics.CounterValue(metrics.CollectiveAllreduceBytes) - before[metrics.CollectiveAllreduceBytes]; d != int64(len(vec)) {
+	if d := before.DeltaValue(metrics.CollectiveAllreduceBytes); d != int64(len(vec)) {
 		t.Fatalf("allreduce bytes delta = %d, want %d", d, len(vec))
 	}
-	if d := metrics.CounterValue(metrics.CollectiveAllreduceChunks) - before[metrics.CollectiveAllreduceChunks]; d <= 0 {
+	if d := before.DeltaValue(metrics.CollectiveAllreduceChunks); d <= 0 {
 		t.Fatalf("allreduce chunks delta = %d, want > 0", d)
 	}
 }
@@ -309,7 +303,7 @@ func TestAbortUnblocksSiblings(t *testing.T) {
 	data := pattern(100 << 10)
 	op := NextOpID()
 	boom := errors.New("rank 2 died")
-	err := fx.group.Run(op, func(rank int) error {
+	err := fx.group.Run(op, "bcast", len(data), func(rank int) error {
 		if rank == 2 {
 			return boom
 		}

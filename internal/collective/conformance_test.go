@@ -97,7 +97,7 @@ func TestBcastConformance(t *testing.T) {
 				op := collective.NextOpID()
 				var mu sync.Mutex
 				got := make([][]byte, n)
-				err := fx.group.Run(op, func(rank int) error {
+				err := fx.group.Run(op, "bcast", len(data), func(rank int) error {
 					out, release, _, err := fx.group.Bcast(op, rank, 0, data, 0)
 					if err != nil {
 						return err
@@ -142,7 +142,7 @@ func TestAllreduceConformance(t *testing.T) {
 				op := collective.NextOpID()
 				var mu sync.Mutex
 				got := make([][]byte, n)
-				err := fx.group.Run(op, func(rank int) error {
+				err := fx.group.Run(op, "allreduce", len(inputs[0]), func(rank int) error {
 					out, release, _, err := fx.group.Allreduce(op, rank, inputs[rank], collective.Float64Sum, 0)
 					if err != nil {
 						return err
@@ -189,7 +189,7 @@ func TestReduceConformance(t *testing.T) {
 		fx := buildTransport(t, tr, n, cfg)
 		op := collective.NextOpID()
 		var root []byte
-		err := fx.group.Run(op, func(rank int) error {
+		err := fx.group.Run(op, "reduce", len(inputs[0]), func(rank int) error {
 			out, _, err := fx.group.Reduce(op, rank, 0, inputs[rank], collective.Float64Sum, 0)
 			if rank == 0 {
 				root = out

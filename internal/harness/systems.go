@@ -105,6 +105,9 @@ type ClusterSpec struct {
 	// when Supervise is set (zero keeps the defaults).
 	HeartbeatInterval time.Duration
 	ExecutorTimeout   time.Duration
+	// EventLogPath records the run's lifecycle events as JSONL
+	// (spark.Config.EventLogPath), replayable with cmd/eventlog.
+	EventLogPath string
 }
 
 // BuildCluster constructs the cluster: standalone deploy for Vanilla and
@@ -142,6 +145,7 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 	sparkCfg.Name = fmt.Sprintf("%s-%s", spec.System.Name, spec.Backend)
 	sparkCfg.CPU = cpu
 	sparkCfg.DefaultParallelism = spec.Workers * slots
+	sparkCfg.EventLogPath = spec.EventLogPath
 	if spec.Supervise {
 		sparkCfg.HeartbeatInterval = spark.DefaultHeartbeatInterval
 		sparkCfg.ExecutorTimeout = spark.DefaultExecutorTimeout

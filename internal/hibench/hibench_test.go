@@ -115,18 +115,17 @@ func TestGMMLikelihoodImproves(t *testing.T) {
 
 func TestLDAAggregatesViaCollective(t *testing.T) {
 	cl := testCluster(t, 2, 2)
-	opsBefore := metrics.CounterValue(metrics.CollectiveReduceOps) +
-		metrics.CounterValue(metrics.CollectiveAllreduceOps)
+	snap := metrics.Snapshot()
 	res, err := RunLDA(cl.Ctx, LDAConfig{Parts: 4, DocsPer: 50, Vocab: 200, WordsPer: 20, K: 4, Iterations: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Each iteration's dense topic-word statistics ride the collective
 	// layer (reduce or ring allreduce), not a vocabulary-wide shuffle.
-	opsAfter := metrics.CounterValue(metrics.CollectiveReduceOps) +
-		metrics.CounterValue(metrics.CollectiveAllreduceOps)
-	if opsAfter-opsBefore < 2 {
-		t.Fatalf("LDA ran %d collective aggregations, want >= one per iteration", opsAfter-opsBefore)
+	ops := snap.DeltaValue(metrics.CollectiveReduceOps) +
+		snap.DeltaValue(metrics.CollectiveAllreduceOps)
+	if ops < 2 {
+		t.Fatalf("LDA ran %d collective aggregations, want >= one per iteration", ops)
 	}
 	if math.IsNaN(res.Metric) || math.IsInf(res.Metric, 0) {
 		t.Fatalf("metric = %v", res.Metric)

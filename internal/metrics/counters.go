@@ -55,6 +55,44 @@ func CounterValue(name string) int64 {
 	return c.Value()
 }
 
+// CounterSnapshot is a point-in-time capture of every registered counter,
+// taken with Snapshot. Counters are process-global and never reset, so
+// code that wants "this run's" numbers — tests, the experiment harness —
+// takes a snapshot before the run and reads deltas after it instead of
+// asserting absolute values that leak across runs within a process.
+type CounterSnapshot map[string]int64
+
+// Snapshot captures the current value of every registered counter.
+func Snapshot() CounterSnapshot {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	s := make(CounterSnapshot, len(counters))
+	for n, c := range counters {
+		s[n] = c.Value()
+	}
+	return s
+}
+
+// Delta returns how far each counter moved since the snapshot, omitting
+// counters that did not move. Counters registered after the snapshot
+// count from zero.
+func (s CounterSnapshot) Delta() map[string]int64 {
+	out := make(map[string]int64)
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	for n, c := range counters {
+		if d := c.Value() - s[n]; d != 0 {
+			out[n] = d
+		}
+	}
+	return out
+}
+
+// DeltaValue returns one counter's movement since the snapshot.
+func (s CounterSnapshot) DeltaValue(name string) int64 {
+	return CounterValue(name) - s[name]
+}
+
 // CounterNames lists all registered counter names, sorted.
 func CounterNames() []string {
 	countersMu.Lock()

@@ -30,6 +30,35 @@ func TestCounterRegistry(t *testing.T) {
 	}
 }
 
+func TestSnapshotDelta(t *testing.T) {
+	pre := GetCounter("test.counter.snapshot.pre")
+	pre.Add(7)
+	snap := Snapshot()
+	if snap["test.counter.snapshot.pre"] != pre.Value() {
+		t.Fatalf("snapshot missed existing counter: %v", snap)
+	}
+	pre.Add(3)
+	GetCounter("test.counter.snapshot.post").Add(2)
+	GetCounter("test.counter.snapshot.idle").Value() // registered, never moved
+
+	d := snap.Delta()
+	if d["test.counter.snapshot.pre"] != 3 {
+		t.Fatalf("pre delta = %d, want 3", d["test.counter.snapshot.pre"])
+	}
+	if d["test.counter.snapshot.post"] != 2 {
+		t.Fatalf("post-snapshot counter delta = %d, want 2", d["test.counter.snapshot.post"])
+	}
+	if _, ok := d["test.counter.snapshot.idle"]; ok {
+		t.Fatal("unmoved counter reported in Delta")
+	}
+	if got := snap.DeltaValue("test.counter.snapshot.pre"); got != 3 {
+		t.Fatalf("DeltaValue = %d, want 3", got)
+	}
+	if got := snap.DeltaValue("test.counter.snapshot.never"); got != 0 {
+		t.Fatalf("DeltaValue of unknown counter = %d, want 0", got)
+	}
+}
+
 func TestCounterConcurrentInc(t *testing.T) {
 	c := GetCounter("test.counter.concurrent")
 	start := c.Value()

@@ -21,7 +21,10 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends a row; values are stringified with %v.
+// AddRow appends a row; values are stringified with %v. The row is
+// normalized to the table's column count: short rows pad with empty
+// cells, long rows drop the excess — so a stray extra (or missing) value
+// can no longer misalign the rendered table.
 func (t *Table) AddRow(vals ...any) {
 	row := make([]string, len(vals))
 	for i, v := range vals {
@@ -36,7 +39,22 @@ func (t *Table) AddRow(vals ...any) {
 			row[i] = fmt.Sprint(v)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	t.Rows = append(t.Rows, t.normalize(row))
+}
+
+// normalize pads or truncates a row to the table's column count. With no
+// columns declared the row passes through unchanged.
+func (t *Table) normalize(row []string) []string {
+	n := len(t.Columns)
+	if n == 0 || len(row) == n {
+		return row
+	}
+	if len(row) > n {
+		return row[:n]
+	}
+	out := make([]string, n)
+	copy(out, row)
+	return out
 }
 
 // FormatDuration renders a duration with benchmark-friendly precision.
@@ -53,14 +71,16 @@ func FormatDuration(d time.Duration) string {
 	}
 }
 
-// WriteText renders the table with aligned columns.
+// WriteText renders the table with aligned columns. Rows appended
+// directly to Rows (bypassing AddRow) are normalized at render time, so
+// both renderers emit exactly one cell per column.
 func (t *Table) WriteText(w io.Writer) {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
 	for _, r := range t.Rows {
-		for i, cell := range r {
+		for i, cell := range t.normalize(r) {
 			if i < len(widths) && len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
@@ -76,7 +96,7 @@ func (t *Table) WriteText(w io.Writer) {
 	}
 	fmt.Fprintln(w)
 	for _, r := range t.Rows {
-		for i, cell := range r {
+		for i, cell := range t.normalize(r) {
 			if i < len(widths) {
 				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
 			}
@@ -89,7 +109,8 @@ func (t *Table) WriteText(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// WriteMarkdown renders the table as GitHub Markdown.
+// WriteMarkdown renders the table as GitHub Markdown. Like WriteText, row
+// arity is normalized so the pipes always line up with the header.
 func (t *Table) WriteMarkdown(w io.Writer) {
 	fmt.Fprintf(w, "### %s\n\n", t.Title)
 	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
@@ -99,7 +120,7 @@ func (t *Table) WriteMarkdown(w io.Writer) {
 	}
 	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
 	for _, r := range t.Rows {
-		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+		fmt.Fprintf(w, "| %s |\n", strings.Join(t.normalize(r), " | "))
 	}
 	fmt.Fprintln(w)
 	for _, n := range t.Notes {
@@ -108,9 +129,10 @@ func (t *Table) WriteMarkdown(w io.Writer) {
 }
 
 // Speedup returns base/other (how many times faster `other` is than
-// `base`), guarding zero.
+// `base`), guarding zero on both sides: a non-positive baseline would
+// otherwise render a garbage 0x (or ±Inf-looking) ratio in result tables.
 func Speedup(base, other vtime.Stamp) float64 {
-	if other <= 0 {
+	if base <= 0 || other <= 0 {
 		return 0
 	}
 	return float64(base) / float64(other)

@@ -85,4 +85,66 @@ func TestSpeedup(t *testing.T) {
 	if got := Speedup(100, 0); got != 0 {
 		t.Fatalf("Speedup by zero = %v", got)
 	}
+	if got := Speedup(0, 25); got != 0 {
+		t.Fatalf("Speedup with zero baseline = %v", got)
+	}
+	if got := Speedup(-5, 25); got != 0 {
+		t.Fatalf("Speedup with negative baseline = %v", got)
+	}
+}
+
+func raggedTable() *Table {
+	t := &Table{
+		Title:   "Ragged",
+		Columns: []string{"A", "B", "C"},
+	}
+	t.AddRow("short")                          // 1 cell: pad to 3
+	t.AddRow("long", 1, 2, "EXTRA")            // 4 cells: truncate to 3
+	t.Rows = append(t.Rows, []string{"raw"})   // bypass AddRow: normalized at render
+	t.AddRow("exact", "x", "y")                // already 3
+	return t
+}
+
+func TestRowArityNormalization(t *testing.T) {
+	tab := raggedTable()
+	for i, r := range tab.Rows[:2] {
+		if len(r) != len(tab.Columns) {
+			t.Fatalf("AddRow row %d arity = %d, want %d", i, len(r), len(tab.Columns))
+		}
+	}
+	if tab.Rows[1][2] != "2" {
+		t.Fatalf("long row kept wrong cells: %v", tab.Rows[1])
+	}
+
+	var md bytes.Buffer
+	tab.WriteMarkdown(&md)
+	for _, line := range strings.Split(strings.TrimSpace(md.String()), "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		if got := strings.Count(line, "|"); got != len(tab.Columns)+1 {
+			t.Errorf("markdown row has %d pipes, want %d: %q", got, len(tab.Columns)+1, line)
+		}
+	}
+	if strings.Contains(md.String(), "EXTRA") {
+		t.Error("markdown rendered a truncated cell")
+	}
+
+	var txt bytes.Buffer
+	tab.WriteText(&txt)
+	if strings.Contains(txt.String(), "EXTRA") {
+		t.Error("text rendered a truncated cell")
+	}
+	// The raw appended 1-cell row must not shift: normalized at render time.
+	if !strings.Contains(txt.String(), "raw") {
+		t.Errorf("text output missing raw row:\n%s", txt.String())
+	}
+}
+
+func TestNormalizeNoColumns(t *testing.T) {
+	tab := &Table{Title: "Free"}
+	tab.AddRow("a", "b")
+	if len(tab.Rows[0]) != 2 {
+		t.Fatalf("no-column table mangled row: %v", tab.Rows[0])
+	}
 }

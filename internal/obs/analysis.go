@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/vtime"
+)
+
+// TaskSummary is one task attempt reconstructed from a TaskEnd event.
+type TaskSummary struct {
+	Partition   int
+	Attempt     int
+	Executor    string
+	Start       vtime.Stamp
+	End         vtime.Stamp
+	FetchWait   vtime.Stamp
+	Records     int64
+	BytesLocal  int64
+	BytesRemote int64
+	Err         string
+}
+
+// Duration is the task's virtual running time.
+func (t TaskSummary) Duration() vtime.Stamp { return t.End - t.Start }
+
+// Compute is the task's virtual time not spent blocked on shuffle fetch.
+func (t TaskSummary) Compute() vtime.Stamp {
+	if c := t.Duration() - t.FetchWait; c > 0 {
+		return c
+	}
+	return 0
+}
+
+// StageSummary aggregates one stage's lifecycle and its tasks.
+type StageSummary struct {
+	Job       int
+	Stage     int
+	Name      string
+	Kind      string
+	Submitted vtime.Stamp
+	Completed vtime.Stamp
+	Width     int // declared task count at submission
+	Tasks     []TaskSummary
+
+	// Aggregates over successful task attempts.
+	TaskTime    vtime.Stamp // sum of task durations
+	FetchWait   vtime.Stamp // sum of fetch-wait time
+	Records     int64
+	BytesLocal  int64
+	BytesRemote int64
+	Retries     int // task attempts beyond the first
+}
+
+// Duration is the stage's virtual wall time, submission to completion.
+func (s *StageSummary) Duration() vtime.Stamp { return s.Completed - s.Submitted }
+
+// SlowestTask returns the successful task gating stage completion, or a
+// zero summary if the stage recorded no successful tasks.
+func (s *StageSummary) SlowestTask() TaskSummary {
+	var slowest TaskSummary
+	for _, t := range s.Tasks {
+		if t.Err == "" && t.Duration() > slowest.Duration() {
+			slowest = t
+		}
+	}
+	return slowest
+}
+
+// JobSummary aggregates one job and its stages in submission order.
+type JobSummary struct {
+	Job    int
+	Start  vtime.Stamp
+	End    vtime.Stamp
+	Err    string
+	Stages []*StageSummary
+}
+
+// Duration is the job's virtual wall time.
+func (j *JobSummary) Duration() vtime.Stamp { return j.End - j.Start }
+
+// Report is the analysis of one replayed event log.
+type Report struct {
+	Jobs   []*JobSummary
+	Events []Event // the raw log, in emission order
+
+	Lost       int // ExecutorLost events
+	Replaced   int // ExecutorReplaced events
+	FetchFails int // FetchFailed events
+	Collective int // CollectiveOp events
+}
+
+// Totals sums shuffle-read bytes over every task attempt in the log —
+// the numbers that must match the shuffle.fetch.bytes_{local,remote}
+// counter deltas for the run.
+func (r *Report) Totals() (local, remote int64) {
+	for _, j := range r.Jobs {
+		for _, s := range j.Stages {
+			for _, t := range s.Tasks {
+				local += t.BytesLocal
+				remote += t.BytesRemote
+			}
+		}
+	}
+	return local, remote
+}
+
+// Analyze replays an event log into per-job, per-stage, per-task
+// summaries. Events may arrive interleaved across concurrent tasks; only
+// ordering between a stage's submission and completion is assumed.
+func Analyze(events []Event) *Report {
+	r := &Report{Events: events}
+	jobs := map[int]*JobSummary{}
+	stages := map[int]*StageSummary{}
+	jobOf := func(id int) *JobSummary {
+		j, ok := jobs[id]
+		if !ok {
+			j = &JobSummary{Job: id}
+			jobs[id] = j
+			r.Jobs = append(r.Jobs, j)
+		}
+		return j
+	}
+	for _, e := range events {
+		switch e.Type {
+		case EvJobStart:
+			j := jobOf(e.Job)
+			j.Start = e.VT
+		case EvJobEnd:
+			j := jobOf(e.Job)
+			j.End = e.VT
+			j.Err = e.Err
+		case EvStageSubmitted:
+			s := &StageSummary{
+				Job: e.Job, Stage: e.Stage, Name: e.StageName, Kind: e.StageKind,
+				Submitted: e.VT, Width: e.Tasks,
+			}
+			stages[e.Stage] = s
+			j := jobOf(e.Job)
+			j.Stages = append(j.Stages, s)
+		case EvStageCompleted:
+			if s := stages[e.Stage]; s != nil {
+				s.Completed = e.VT
+			}
+		case EvTaskEnd:
+			s := stages[e.Stage]
+			if s == nil {
+				continue
+			}
+			t := TaskSummary{
+				Partition: e.Partition, Attempt: e.Attempt, Executor: e.Executor,
+				Start: e.Start, End: e.VT, FetchWait: e.FetchWait,
+				Records: e.Records, BytesLocal: e.BytesLocal, BytesRemote: e.BytesRemote,
+				Err: e.Err,
+			}
+			s.Tasks = append(s.Tasks, t)
+			if e.Attempt > 0 {
+				s.Retries++
+			}
+			if t.Err == "" {
+				s.TaskTime += t.Duration()
+				s.FetchWait += t.FetchWait
+				s.Records += t.Records
+				s.BytesLocal += t.BytesLocal
+				s.BytesRemote += t.BytesRemote
+			}
+		case EvExecutorLost:
+			r.Lost++
+		case EvExecutorReplaced:
+			r.Replaced++
+		case EvFetchFailed:
+			r.FetchFails++
+		case EvCollectiveOp:
+			r.Collective++
+		}
+	}
+	sort.Slice(r.Jobs, func(a, b int) bool { return r.Jobs[a].Job < r.Jobs[b].Job })
+	for _, j := range r.Jobs {
+		sort.Slice(j.Stages, func(a, b int) bool { return j.Stages[a].Submitted < j.Stages[b].Submitted })
+		for _, s := range j.Stages {
+			sort.Slice(s.Tasks, func(a, b int) bool {
+				if s.Tasks[a].Partition != s.Tasks[b].Partition {
+					return s.Tasks[a].Partition < s.Tasks[b].Partition
+				}
+				return s.Tasks[a].Attempt < s.Tasks[b].Attempt
+			})
+		}
+	}
+	return r
+}
+
+// TimelineTable renders the stage timeline: each stage's submission and
+// completion in virtual time, its width, and how many attempts ran.
+func (r *Report) TimelineTable() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Stage timeline (virtual time)",
+		Columns: []string{"Job", "Stage", "Kind", "Name", "Submitted", "Completed", "Duration", "Tasks", "Attempts"},
+	}
+	for _, j := range r.Jobs {
+		for _, s := range j.Stages {
+			t.AddRow(j.Job, s.Stage, s.Kind, s.Name,
+				s.Submitted, s.Completed, s.Duration(), s.Width, len(s.Tasks))
+		}
+	}
+	if r.Lost+r.Replaced+r.FetchFails > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"faults: %d executors lost, %d replaced, %d fetch failures",
+			r.Lost, r.Replaced, r.FetchFails))
+	}
+	return t
+}
+
+// BreakdownTable renders the per-stage shuffle-wait vs. compute split —
+// the decomposition the paper's §V argument rests on.
+func (r *Report) BreakdownTable() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Per-stage shuffle-wait vs. compute (summed over tasks)",
+		Columns: []string{"Job", "Stage", "Kind", "TaskTime", "FetchWait", "Compute", "Wait%", "BytesLocal", "BytesRemote", "Records", "Retries"},
+	}
+	for _, j := range r.Jobs {
+		for _, s := range j.Stages {
+			compute := s.TaskTime - s.FetchWait
+			pct := 0.0
+			if s.TaskTime > 0 {
+				pct = 100 * float64(s.FetchWait) / float64(s.TaskTime)
+			}
+			t.AddRow(j.Job, s.Stage, s.Kind, s.TaskTime, s.FetchWait, compute,
+				fmt.Sprintf("%.1f", pct), s.BytesLocal, s.BytesRemote, s.Records, s.Retries)
+		}
+	}
+	return t
+}
+
+// CriticalPathTable renders, per job, the path that bounds its virtual
+// completion time: stages run sequentially, so the job's critical path is
+// each stage's slowest task. The fetch-wait share of those gating tasks
+// is the part a faster interconnect can remove.
+func (r *Report) CriticalPathTable() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Critical path (slowest task per stage)",
+		Columns: []string{"Job", "JobTime", "Stage", "GatingTask", "Executor", "Duration", "FetchWait", "Wait%"},
+	}
+	for _, j := range r.Jobs {
+		for _, s := range j.Stages {
+			slow := s.SlowestTask()
+			pct := 0.0
+			if slow.Duration() > 0 {
+				pct = 100 * float64(slow.FetchWait) / float64(slow.Duration())
+			}
+			t.AddRow(j.Job, j.Duration(), s.Stage,
+				fmt.Sprintf("p%d.%d", slow.Partition, slow.Attempt), slow.Executor,
+				slow.Duration(), slow.FetchWait, fmt.Sprintf("%.1f", pct))
+		}
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// LogWriter is a Listener that appends each event as one JSON line — the
+// same shape as Spark's event log, replayable with ReadLog or cmd/eventlog.
+type LogWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewLogWriter creates (truncating) the JSONL event log at path.
+func NewLogWriter(path string) (*LogWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create event log: %w", err)
+	}
+	return &LogWriter{w: bufio.NewWriter(f), c: f}, nil
+}
+
+// OnEvent implements Listener. Write errors are sticky and surface from
+// Close; a failed log never aborts the run it is observing.
+func (lw *LogWriter) OnEvent(e Event) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		lw.err = err
+		return
+	}
+	if _, err := lw.w.Write(append(b, '\n')); err != nil {
+		lw.err = err
+	}
+}
+
+// Close flushes and closes the log, returning the first error seen.
+func (lw *LogWriter) Close() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if ferr := lw.w.Flush(); lw.err == nil {
+		lw.err = ferr
+	}
+	if cerr := lw.c.Close(); lw.err == nil {
+		lw.err = cerr
+	}
+	return lw.err
+}
+
+// ReadLog replays a JSONL event log from disk.
+func ReadLog(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open event log: %w", err)
+	}
+	defer f.Close()
+	return DecodeLog(f)
+}
+
+// DecodeLog replays a JSONL event stream.
+func DecodeLog(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return events, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("obs: read event log: %w", err)
+	}
+	return events, nil
+}

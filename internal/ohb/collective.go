@@ -93,7 +93,7 @@ func RunOSUBcast(ctx *spark.Context, sizes []int, iters int) (*OSUResult, error)
 			op := collective.NextOpID()
 			var mu sync.Mutex
 			var done vtime.Stamp
-			err := g.Run(op, func(rank int) error {
+			err := g.Run(op, "bcast", size, func(rank int) error {
 				var in []byte
 				if rank == 0 {
 					in = data
@@ -125,7 +125,7 @@ func RunOSUAllreduce(ctx *spark.Context, sizes []int, iters int) (*OSUResult, er
 			op := collective.NextOpID()
 			var mu sync.Mutex
 			var done vtime.Stamp
-			err := g.Run(op, func(rank int) error {
+			err := g.Run(op, "allreduce", size, func(rank int) error {
 				out, release, vt, err := g.Allreduce(op, rank, data, collective.Float64Sum, at)
 				if err != nil {
 					return err

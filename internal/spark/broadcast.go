@@ -100,7 +100,7 @@ func (c *Context) seedBroadcast(sid string, blob []byte) {
 	op := collective.NextOpID()
 	at := c.Clock()
 	var driverDone vtime.Stamp
-	err := group.Run(op, func(rank int) error {
+	err := group.Run(op, "bcast", len(blob), func(rank int) error {
 		if rank == 0 {
 			_, release, vt, err := group.Bcast(op, 0, 0, blob, at)
 			if err != nil {

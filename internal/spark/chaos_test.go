@@ -167,8 +167,7 @@ func TestChaosMapOutputLossResubmission(t *testing.T) {
 			}
 			verifySums(t, out, nParts)
 
-			resubBefore := metrics.CounterValue("scheduler.map_stage.resubmissions")
-			ffBefore := metrics.CounterValue("scheduler.fetch_failed")
+			snap := metrics.Snapshot()
 
 			// Kill the worker hosting exec-1: its registered map outputs
 			// become unfetchable.
@@ -181,10 +180,10 @@ func TestChaosMapOutputLossResubmission(t *testing.T) {
 			}
 			verifySums(t, out, nParts)
 
-			if d := metrics.CounterValue("scheduler.fetch_failed") - ffBefore; d == 0 {
+			if d := snap.DeltaValue("scheduler.fetch_failed"); d == 0 {
 				t.Fatal("recovery recorded no fetch failures")
 			}
-			if d := metrics.CounterValue("scheduler.map_stage.resubmissions") - resubBefore; d == 0 {
+			if d := snap.DeltaValue("scheduler.map_stage.resubmissions"); d == 0 {
 				t.Fatal("recovery recorded no map-stage resubmission")
 			}
 
@@ -287,10 +286,7 @@ func TestChaosExecutorKillNarrowJob(t *testing.T) {
 	const nParts = 2 * chaosWorkers
 	for _, backend := range chaosBackends {
 		t.Run(backend.String(), func(t *testing.T) {
-			lostBefore := metrics.CounterValue("scheduler.executor.lost")
-			replacedBefore := metrics.CounterValue("scheduler.executor.replaced")
-			sentBefore := metrics.CounterValue("heartbeat.sent")
-			expiredBefore := metrics.CounterValue("heartbeat.expired")
+			snap := metrics.Snapshot()
 
 			cc := newChaosClusterCfg(t, backend, superviseChaos)
 			victim := cc.ctx.Executors()[1]
@@ -327,16 +323,16 @@ func TestChaosExecutorKillNarrowJob(t *testing.T) {
 				t.Fatalf("sum = %d, want %d", sum, want)
 			}
 
-			if d := metrics.CounterValue("scheduler.executor.lost") - lostBefore; d < 1 {
+			if d := snap.DeltaValue("scheduler.executor.lost"); d < 1 {
 				t.Fatalf("scheduler.executor.lost delta = %d, want >= 1", d)
 			}
-			if d := metrics.CounterValue("scheduler.executor.replaced") - replacedBefore; d < 1 {
+			if d := snap.DeltaValue("scheduler.executor.replaced"); d < 1 {
 				t.Fatalf("scheduler.executor.replaced delta = %d, want >= 1", d)
 			}
-			if d := metrics.CounterValue("heartbeat.sent") - sentBefore; d < 1 {
+			if d := snap.DeltaValue("heartbeat.sent"); d < 1 {
 				t.Fatalf("heartbeat.sent delta = %d, want >= 1", d)
 			}
-			if d := metrics.CounterValue("heartbeat.expired") - expiredBefore; d < 1 {
+			if d := snap.DeltaValue("heartbeat.expired"); d < 1 {
 				t.Fatalf("heartbeat.expired delta = %d, want >= 1", d)
 			}
 

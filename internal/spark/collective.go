@@ -2,6 +2,7 @@ package spark
 
 import (
 	"mpi4spark/internal/collective"
+	"mpi4spark/internal/obs"
 )
 
 // collectiveConfig builds the collective layer's configuration from the
@@ -33,7 +34,21 @@ func (c *Context) collectiveGroup() (*collective.Group, []*Executor) {
 		members = append(members, e.coll)
 		execs = append(execs, e)
 	}
-	return collective.NewGroup(c.collectiveConfig(), members), execs
+	g := collective.NewGroup(c.collectiveConfig(), members)
+	g.SetObserver(func(info collective.OpInfo) {
+		// The driver clock advances only when the caller observes the
+		// op's completion VT (AdvanceClock), after this hook runs — the
+		// stamp is the clock at op completion, a documented approximation.
+		e := obs.Event{
+			Type: obs.EvCollectiveOp, VT: c.Clock(),
+			Op: info.Op, Kind: info.Kind, Bytes: info.Bytes, Ranks: info.Ranks,
+		}
+		if info.Err != nil {
+			e.Err = info.Err.Error()
+		}
+		c.bus.Emit(e)
+	})
+	return g, execs
 }
 
 // CollectiveGroup exposes the driver+executors collective group (driver is

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mpi4spark/internal/collective"
+	"mpi4spark/internal/obs"
 	"mpi4spark/internal/spark/rpc"
 	"mpi4spark/internal/spark/shuffle"
 	"mpi4spark/internal/vtime"
@@ -76,6 +77,12 @@ type Config struct {
 	// collectives use latency-optimal binomial trees instead of chunked
 	// bandwidth-optimal pipelines. Default collective.DefaultSmallLimit.
 	CollectiveSmallLimit int
+	// EventLogPath, when non-empty, records every lifecycle event the
+	// driver's listener bus emits (job/stage/task lifecycle with per-task
+	// shuffle metrics, executor loss/replacement, collective ops, fetch
+	// failures) as JSONL at this path, replayable with obs.ReadLog or
+	// cmd/eventlog — the Spark event-log/History Server model.
+	EventLogPath string
 }
 
 // Default supervision knobs, used by harness.BuildCluster and the examples
@@ -110,6 +117,8 @@ func DefaultConfig() Config {
 type taskMetrics struct {
 	Records       int64
 	ShuffleBytes  int64
+	BytesLocal    int64 // shuffle bytes read from the local block manager
+	BytesRemote   int64 // shuffle bytes fetched over the network
 	ShuffleWaitVT vtime.Stamp
 }
 
@@ -135,6 +144,11 @@ type taskDescriptor struct {
 	run        func(tc *TaskContext) (any, *shuffle.MapStatus, error)
 	resultSize func(any) int
 	preferred  string // preferred executor id ("" = any)
+	// attempt is the retry count, stored by the scheduler before each
+	// relaunch and read by the executor when stamping task events. Atomic
+	// because a dead executor's goroutine may still read it while the
+	// driver relaunches.
+	attempt atomic.Int32
 }
 
 // stageInfo describes a stage for scheduling and metrics.
@@ -196,6 +210,11 @@ type Context struct {
 	runningOn    map[int64]string  // task id -> executor currently running it
 	lostExecs    map[string]bool   // executors already declared lost
 	replacer     ExecutorReplacer  // deployment hook forking replacements
+
+	// bus carries lifecycle events (see internal/obs); eventLog is the
+	// JSONL writer subscribed when Config.EventLogPath is set.
+	bus      *obs.Bus
+	eventLog *obs.LogWriter
 
 	// Supervision state (heartbeats + expiry); see supervisor.go.
 	hbMu      sync.Mutex
@@ -262,6 +281,15 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 		runningOn:    make(map[int64]string),
 		lostExecs:    make(map[string]bool),
 		hb:           make(map[string]*execHealth),
+		bus:          obs.NewBus(),
+	}
+	if cfg.EventLogPath != "" {
+		lw, err := obs.NewLogWriter(cfg.EventLogPath)
+		if err != nil {
+			return nil, err
+		}
+		c.eventLog = lw
+		c.bus.Subscribe(lw)
 	}
 	if err := shuffle.ServeTracker(driver, c.tracker); err != nil {
 		return nil, err
@@ -305,16 +333,25 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 }
 
 // Close stops the driver-side supervision loop (a no-op when supervision
-// is disabled). The deploy layers call it from their cluster Close; it
-// does not shut the executors or RPC environments down.
+// is disabled) and flushes the event log if one was configured. The
+// deploy layers call it from their cluster Close; it does not shut the
+// executors or RPC environments down.
 func (c *Context) Close() {
 	c.closeOnce.Do(func() {
 		if c.superStop != nil {
 			close(c.superStop)
 			<-c.superDone
 		}
+		if c.eventLog != nil {
+			c.eventLog.Close()
+		}
 	})
 }
+
+// Bus returns the driver's lifecycle event bus. Subscribe a listener to
+// observe job/stage/task events in process; set Config.EventLogPath to
+// record them to disk instead.
+func (c *Context) Bus() *obs.Bus { return c.bus }
 
 // Driver returns the driver's RPC environment.
 func (c *Context) Driver() *rpc.Env { return c.driver }

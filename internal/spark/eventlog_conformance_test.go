@@ -1,0 +1,117 @@
+// Event-log conformance: on every backend the paper compares, a recorded
+// GroupByTest-style run must replay into a stage timeline with per-task
+// shuffle fetch-wait, and the log's shuffle byte totals must exactly
+// equal the shuffle.fetch.bytes_{local,remote} counter deltas for the
+// run — the event log and the counters are two views of one truth.
+package spark_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/obs"
+	"mpi4spark/internal/spark"
+)
+
+func TestEventLogMatchesCountersAcrossTransports(t *testing.T) {
+	const nParts = 6
+	for _, backend := range chaosBackends {
+		t.Run(backend.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.jsonl")
+			snap := metrics.Snapshot()
+			cc := newChaosClusterCfg(t, backend, func(c *spark.Config) {
+				c.EventLogPath = path
+			})
+
+			pairs := spark.Generate(cc.ctx, nParts, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+				out := make([]spark.Pair[int64, int64], 40)
+				for i := range out {
+					out[i] = spark.Pair[int64, int64]{K: int64(i % 10), V: int64(part + 1)}
+				}
+				tc.ChargeRecords(len(out), 16*len(out))
+				return out
+			})
+			summed := spark.ReduceByKey(pairs, chaosConf(nParts), func(a, b int64) int64 { return a + b })
+			out, err := spark.Collect(summed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifySums(t, out, nParts)
+			// A second job re-reads the shuffle so the log covers reuse too.
+			if n, err := spark.Count(summed); err != nil || n != 10 {
+				t.Fatalf("job 2: n=%d err=%v", n, err)
+			}
+
+			// Close flushes the event log (idempotent; t.Cleanup closes again).
+			cc.close()
+
+			wantLocal := snap.DeltaValue("shuffle.fetch.bytes_local")
+			wantRemote := snap.DeltaValue("shuffle.fetch.bytes_remote")
+
+			events, err := obs.ReadLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report := obs.Analyze(events)
+
+			// Exact byte equality between the two views.
+			local, remote := report.Totals()
+			if local != wantLocal || remote != wantRemote {
+				t.Fatalf("event-log bytes (local=%d remote=%d) != counter deltas (local=%d remote=%d)",
+					local, remote, wantLocal, wantRemote)
+			}
+			if remote == 0 {
+				t.Fatal("run fetched no remote shuffle bytes; test proves nothing")
+			}
+			if local == 0 {
+				t.Fatal("run fetched no local shuffle bytes; test proves nothing")
+			}
+
+			// The timeline must reconstruct: both jobs, each with a clean
+			// lifecycle, and the shuffle's map and reduce stages present.
+			if len(report.Jobs) != 2 {
+				t.Fatalf("jobs in log = %d, want 2", len(report.Jobs))
+			}
+			kinds := map[string]int{}
+			var reduceWait int64
+			for _, j := range report.Jobs {
+				if j.Err != "" {
+					t.Fatalf("job %d logged error %q", j.Job, j.Err)
+				}
+				if j.End <= j.Start {
+					t.Fatalf("job %d timeline empty: start=%d end=%d", j.Job, j.Start, j.End)
+				}
+				for _, s := range j.Stages {
+					kinds[s.Kind]++
+					if s.Completed <= s.Submitted {
+						t.Fatalf("stage %d has no duration", s.Stage)
+					}
+					if len(s.Tasks) != s.Width {
+						t.Fatalf("stage %d: %d attempts for width %d", s.Stage, len(s.Tasks), s.Width)
+					}
+					if s.Kind == "ResultStage" && s.BytesRemote > 0 {
+						reduceWait += int64(s.FetchWait)
+						// Per-task fetch-wait must be attributed, not just
+						// stage totals: a stage that fetched remotely has at
+						// least one task with recorded wait.
+						var perTask int64
+						for _, task := range s.Tasks {
+							perTask += int64(task.FetchWait)
+						}
+						if perTask == 0 {
+							t.Fatalf("stage %d fetched %d remote bytes but no task recorded fetch-wait",
+								s.Stage, s.BytesRemote)
+						}
+					}
+				}
+			}
+			if kinds["ShuffleMapStage"] == 0 || kinds["ResultStage"] == 0 {
+				t.Fatalf("stage kinds in log = %v, want ShuffleMapStage and ResultStage", kinds)
+			}
+			if reduceWait == 0 {
+				t.Fatal("no reduce stage recorded shuffle fetch-wait")
+			}
+		})
+	}
+}

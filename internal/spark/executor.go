@@ -10,6 +10,7 @@ import (
 	"mpi4spark/internal/collective"
 	"mpi4spark/internal/fabric"
 	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/obs"
 	"mpi4spark/internal/rdma"
 	"mpi4spark/internal/spark/rpc"
 	"mpi4spark/internal/spark/shuffle"
@@ -242,6 +243,12 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 	e.runningMu.Unlock()
 	e.hbClock.Observe(launchVT)
 	start := vtime.Max(s.clock.Now(), launchVT)
+	attempt := int(desc.attempt.Load())
+	e.ctx.bus.Emit(obs.Event{
+		Type: obs.EvTaskStart, VT: start, Job: desc.stage.jobID,
+		Stage: desc.stage.id, Partition: desc.part, Attempt: attempt,
+		Executor: e.id,
+	})
 	tc := &TaskContext{
 		StageID:   desc.stage.id,
 		Partition: desc.part,
@@ -257,10 +264,23 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 	e.runningMu.Unlock()
 	e.hbClock.Observe(tc.vt)
 	if e.dead.Load() {
-		// The process died mid-task: nothing it computed escapes. The
-		// supervisor's heartbeat expiry fails the task driver-side.
+		// The process died mid-task: nothing it computed escapes — no
+		// completion, no TaskEnd. The supervisor's heartbeat expiry fails
+		// the task driver-side and emits the synthetic TaskEnd.
 		return
 	}
+
+	end := obs.Event{
+		Type: obs.EvTaskEnd, VT: tc.vt, Job: desc.stage.jobID,
+		Stage: desc.stage.id, Partition: desc.part, Attempt: attempt,
+		Executor: e.id, Start: start,
+		Records: tc.recordsRead, BytesLocal: tc.bytesLocal,
+		BytesRemote: tc.bytesRemote, FetchWait: tc.shuffleWaitDur,
+	}
+	if err != nil {
+		end.Err = err.Error()
+	}
+	e.ctx.bus.Emit(end)
 
 	comp := &completion{
 		taskID:    desc.id,
@@ -274,6 +294,8 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 		metrics: taskMetrics{
 			Records:       tc.recordsRead,
 			ShuffleBytes:  tc.bytesShuffled,
+			BytesLocal:    tc.bytesLocal,
+			BytesRemote:   tc.bytesRemote,
 			ShuffleWaitVT: tc.shuffleWaitDur,
 		},
 	}

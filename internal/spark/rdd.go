@@ -44,6 +44,8 @@ type TaskContext struct {
 
 	recordsRead    int64
 	bytesShuffled  int64
+	bytesLocal     int64 // shuffle bytes read from the local block manager
+	bytesRemote    int64 // shuffle bytes fetched over the network
 	newlyCached    []cacheKey
 	shuffleReadVT  vtime.Stamp // vt after the last shuffle fetch completed
 	shuffleWaitDur vtime.Stamp // cumulative time spent waiting on shuffle fetches
@@ -134,6 +136,11 @@ func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([][]byte, func(), 
 	for i, r := range results {
 		out[i] = r.Data
 		tc.bytesShuffled += int64(len(r.Data))
+		if r.Local {
+			tc.bytesLocal += int64(len(r.Data))
+		} else {
+			tc.bytesRemote += int64(len(r.Data))
+		}
 		if r.Release != nil {
 			releases = append(releases, r.Release)
 		}

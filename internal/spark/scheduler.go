@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/obs"
 	"mpi4spark/internal/spark/shuffle"
 	"mpi4spark/internal/vtime"
 )
@@ -81,15 +82,25 @@ func (c *Context) runJob(final rddBase, resultSize func(any) int, collect func(p
 	c.jobSeq++
 	c.mu.Unlock()
 
+	c.bus.Emit(obs.Event{Type: obs.EvJobStart, VT: c.Clock(), Job: jobID})
+	finish := func(err error) error {
+		e := obs.Event{Type: obs.EvJobEnd, VT: c.Clock(), Job: jobID}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		c.bus.Emit(e)
+		return err
+	}
+
 	deps := findShuffleDeps(final)
 	for attempt := 0; ; attempt++ {
 		err := c.tryRunJob(jobID, deps, final, resultSize, collect)
 		if err == nil {
-			return nil
+			return finish(nil)
 		}
 		ff, ok := shuffle.AsFetchFailed(err)
 		if !ok || attempt >= c.cfg.MaxStageAttempts-1 {
-			return err
+			return finish(err)
 		}
 		c.recoverFetchFailure(ff)
 	}
@@ -122,6 +133,11 @@ func (c *Context) tryRunJob(jobID int, deps []*ShuffleDep, final rddBase, result
 // an executor already declared lost yields no repeat recovery.
 func (c *Context) recoverFetchFailure(ff *shuffle.FetchFailedError) {
 	metrics.GetCounter("scheduler.fetch_failed").Inc()
+	c.bus.Emit(obs.Event{
+		Type: obs.EvFetchFailed, VT: c.Clock(),
+		ShuffleID: ff.ShuffleID, MapID: ff.MapID, ReduceID: ff.ReduceID,
+		Executor: ff.Loc.ExecID, Err: ff.Error(),
+	})
 	if ff.Loc.ExecID != "" {
 		c.handleExecutorLost(ff.Loc.ExecID, c.Clock(),
 			fmt.Sprintf("fetch failed against shuffle %d", ff.ShuffleID))
@@ -292,6 +308,12 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 	}
 	c.mu.Unlock()
 
+	c.bus.Emit(obs.Event{
+		Type: obs.EvStageSubmitted, VT: start, Job: stage.jobID,
+		Stage: stage.id, StageName: stage.name, StageKind: stage.kind,
+		Tasks: len(tasks),
+	})
+
 	// launch sends one task's LaunchTask message, skipping unreachable
 	// executors (which are declared lost) up to the cluster size.
 	launch := func(t *taskDescriptor, exclude map[string]bool, at vtime.Stamp) (vtime.Stamp, error) {
@@ -344,6 +366,7 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 				attempts[i]++
 				exclusions[i][comp.execID] = true
 				t := tasks[i]
+				t.attempt.Store(int32(attempts[i]))
 				ch := make(chan *completion, 1)
 				c.mu.Lock()
 				c.tasks[t.id] = t
@@ -399,6 +422,15 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 	}
 	c.clock = vtime.Max(c.clock, end)
 	c.mu.Unlock()
+	done := obs.Event{
+		Type: obs.EvStageCompleted, VT: end, Job: stage.jobID,
+		Stage: stage.id, StageName: stage.name, StageKind: stage.kind,
+		Tasks: len(tasks),
+	}
+	if firstErr != nil {
+		done.Err = firstErr.Error()
+	}
+	c.bus.Emit(done)
 	if firstErr != nil {
 		return nil, firstErr
 	}

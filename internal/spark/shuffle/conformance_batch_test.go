@@ -29,8 +29,7 @@ func TestConformanceBatchedSingleRequest(t *testing.T) {
 			statuses[m] = server.sm.WriteMapOutput(shuffleID, m, [][]byte{confBlock(m, 0, 3000)}, server.loc)
 		}
 
-		reqBefore := metrics.CounterValue("shuffle.fetch.requests")
-		blkBefore := metrics.CounterValue("shuffle.fetch.batched_blocks")
+		snap := metrics.Snapshot()
 		results, _, err := fetchGuarded(t, cl.peers[0], shuffleID, 0, statuses, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -40,10 +39,10 @@ func TestConformanceBatchedSingleRequest(t *testing.T) {
 				t.Fatalf("map %d corrupted", m)
 			}
 		}
-		if d := metrics.CounterValue("shuffle.fetch.requests") - reqBefore; d != 1 {
+		if d := snap.DeltaValue("shuffle.fetch.requests"); d != 1 {
 			t.Fatalf("%d blocks from one peer took %d requests, want 1", nMaps, d)
 		}
-		if d := metrics.CounterValue("shuffle.fetch.batched_blocks") - blkBefore; d != nMaps {
+		if d := snap.DeltaValue("shuffle.fetch.batched_blocks"); d != nMaps {
 			t.Fatalf("batched_blocks delta = %d, want %d", d, nMaps)
 		}
 	})
@@ -64,9 +63,7 @@ func TestConformanceBatchLocalRemote(t *testing.T) {
 			remote.sm.WriteMapOutput(shuffleID, 3, [][]byte{confBlock(3, 0, 512)}, remote.loc),
 		}
 
-		reqBefore := metrics.CounterValue("shuffle.fetch.requests")
-		locBefore := metrics.CounterValue("shuffle.fetch.bytes_local")
-		remBefore := metrics.CounterValue("shuffle.fetch.bytes_remote")
+		snap := metrics.Snapshot()
 		results, _, err := fetchGuarded(t, local, shuffleID, 0, statuses, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -77,13 +74,13 @@ func TestConformanceBatchLocalRemote(t *testing.T) {
 				t.Fatalf("map %d corrupted", m)
 			}
 		}
-		if d := metrics.CounterValue("shuffle.fetch.requests") - reqBefore; d != 1 {
+		if d := snap.DeltaValue("shuffle.fetch.requests"); d != 1 {
 			t.Fatalf("mixed batch took %d requests, want 1 (locals are free)", d)
 		}
-		if d := metrics.CounterValue("shuffle.fetch.bytes_local") - locBefore; d != 2048+1024 {
+		if d := snap.DeltaValue("shuffle.fetch.bytes_local"); d != 2048+1024 {
 			t.Fatalf("bytes_local delta = %d, want %d", d, 2048+1024)
 		}
-		if d := metrics.CounterValue("shuffle.fetch.bytes_remote") - remBefore; d != 4096+512 {
+		if d := snap.DeltaValue("shuffle.fetch.bytes_remote"); d != 4096+512 {
 			t.Fatalf("bytes_remote delta = %d, want %d", d, 4096+512)
 		}
 	})
@@ -108,7 +105,7 @@ func TestConformanceChunkBoundaries(t *testing.T) {
 			statuses[m] = server.sm.WriteMapOutput(shuffleID, m, [][]byte{part}, server.loc)
 		}
 
-		chunksBefore := metrics.CounterValue("shuffle.fetch.chunks")
+		snap := metrics.Snapshot()
 		results, vt, err := fetchGuarded(t, cl.peers[0], shuffleID, 0, statuses, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -129,7 +126,7 @@ func TestConformanceChunkBoundaries(t *testing.T) {
 		// chunk size (UCR chunks by its own config): 1 + 1 + 2 chunks for
 		// the non-empty blocks; the empty block is skipped, not fetched.
 		if transport != "ucr" {
-			if d := metrics.CounterValue("shuffle.fetch.chunks") - chunksBefore; d != 4 {
+			if d := snap.DeltaValue("shuffle.fetch.chunks"); d != 4 {
 				t.Fatalf("chunks delta = %d, want 4", d)
 			}
 		}

@@ -68,6 +68,11 @@ func (m *Manager) WriteMapOutput(shuffleID, mapID int, parts [][]byte, loc Locat
 type FetchResult struct {
 	MapID int
 	Data  []byte
+	// Local marks a block read from the executor's own block manager
+	// rather than fetched over the network, mirroring the
+	// shuffle.fetch.bytes_{local,remote} counter split so per-task byte
+	// accounting matches the counters exactly.
+	Local bool
 	// Release returns pooled memory backing Data (nil when the block is
 	// local or its transport does not pool). Data must not be used after.
 	Release func()
@@ -180,7 +185,7 @@ func (m *Manager) FetchShuffleParts(
 			cost := m.LocalReadCost + time.Duration(m.LocalReadNsPerByte*float64(len(data)))
 			observe(at.Add(cost))
 			metrics.GetCounter("shuffle.fetch.bytes_local").Add(int64(len(data)))
-			results[mapID] = FetchResult{MapID: mapID, Data: data}
+			results[mapID] = FetchResult{MapID: mapID, Data: data, Local: true}
 			continue
 		}
 		if _, ok := groups[st.Loc.ExecID]; !ok {

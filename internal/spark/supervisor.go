@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/obs"
 	"mpi4spark/internal/spark/rpc"
 	"mpi4spark/internal/vtime"
 )
@@ -232,6 +233,9 @@ func (c *Context) handleExecutorLost(execID string, vt vtime.Stamp, cause string
 	}
 	c.mu.Unlock()
 	metrics.GetCounter("scheduler.executor.lost").Inc()
+	c.bus.Emit(obs.Event{
+		Type: obs.EvExecutorLost, VT: vt, Executor: execID, Cause: cause,
+	})
 
 	c.forgetExecutorOutputs(execID)
 	if lost != nil {
@@ -316,6 +320,10 @@ func (c *Context) replaceLost(lost *Executor, vt vtime.Stamp) {
 	delete(c.unhealthy, repl.id)
 	c.mu.Unlock()
 	metrics.GetCounter("scheduler.executor.replaced").Inc()
+	c.bus.Emit(obs.Event{
+		Type: obs.EvExecutorReplaced, VT: readyVT,
+		Executor: lost.id, Replacement: repl.id,
+	})
 }
 
 // failRunningTasks synthesizes an ExecutorLostError completion for every
@@ -353,6 +361,18 @@ func (c *Context) failRunningTasks(execID string, vt vtime.Stamp, cause string) 
 	}
 	c.mu.Unlock()
 	for _, f := range failures {
+		// A killed executor emits no TaskEnd of its own (nothing it
+		// computed escapes); the synthetic completion's event keeps the
+		// log complete so replay sees every attempt resolve.
+		desc := c.lookupTask(f.comp.taskID)
+		if desc != nil {
+			c.bus.Emit(obs.Event{
+				Type: obs.EvTaskEnd, VT: vt, Job: desc.stage.jobID,
+				Stage: desc.stage.id, Partition: desc.part,
+				Attempt: int(desc.attempt.Load()), Executor: execID,
+				Start: vt, Err: f.comp.err.Error(),
+			})
+		}
 		f.w <- f.comp
 	}
 }

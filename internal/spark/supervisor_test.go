@@ -136,8 +136,7 @@ func TestSupervisionDetectsKill(t *testing.T) {
 	tc := newSupervisedCluster(t, 2, 1)
 	victim := tc.execs[1]
 
-	lostBefore := metrics.CounterValue("scheduler.executor.lost")
-	expiredBefore := metrics.CounterValue("heartbeat.expired")
+	snap := metrics.Snapshot()
 
 	var startOnce sync.Once
 	started := make(chan struct{})
@@ -162,10 +161,10 @@ func TestSupervisionDetectsKill(t *testing.T) {
 	if sum != 0+1+2+3 {
 		t.Fatalf("sum = %d, want 6", sum)
 	}
-	if d := metrics.CounterValue("scheduler.executor.lost") - lostBefore; d != 1 {
+	if d := snap.DeltaValue("scheduler.executor.lost"); d != 1 {
 		t.Fatalf("scheduler.executor.lost delta = %d, want 1", d)
 	}
-	if d := metrics.CounterValue("heartbeat.expired") - expiredBefore; d < 1 {
+	if d := snap.DeltaValue("heartbeat.expired"); d < 1 {
 		t.Fatalf("heartbeat.expired delta = %d, want >= 1", d)
 	}
 	tc.ctx.mu.Lock()
@@ -193,8 +192,7 @@ func TestReplacerRestoresWidth(t *testing.T) {
 	tc := newSupervisedCluster(t, 2, 1)
 	victim := tc.execs[1]
 
-	replacedBefore := metrics.CounterValue("scheduler.executor.replaced")
-	sentBefore := metrics.CounterValue("heartbeat.sent")
+	snap := metrics.Snapshot()
 
 	tc.ctx.SetExecutorReplacer(func(lost *Executor, at vtime.Stamp) (*Executor, vtime.Stamp, error) {
 		node := tc.fab.AddNode("worker-spare")
@@ -236,10 +234,10 @@ func TestReplacerRestoresWidth(t *testing.T) {
 	if sum != 6 {
 		t.Fatalf("sum = %d, want 6", sum)
 	}
-	if d := metrics.CounterValue("scheduler.executor.replaced") - replacedBefore; d != 1 {
+	if d := snap.DeltaValue("scheduler.executor.replaced"); d != 1 {
 		t.Fatalf("scheduler.executor.replaced delta = %d, want 1", d)
 	}
-	if metrics.CounterValue("heartbeat.sent") <= sentBefore {
+	if snap.DeltaValue("heartbeat.sent") < 1 {
 		t.Fatal("no heartbeats recorded")
 	}
 
@@ -274,10 +272,10 @@ func TestReplacerRestoresWidth(t *testing.T) {
 // executor into the first.
 func TestExecutorLostIdempotent(t *testing.T) {
 	tc := newTestCluster(t, 2, 1, BackendVanilla)
-	lostBefore := metrics.CounterValue("scheduler.executor.lost")
+	snap := metrics.Snapshot()
 	tc.ctx.handleExecutorLost("exec-1", 10, "test")
 	tc.ctx.handleExecutorLost("exec-1", 20, "test again")
-	if d := metrics.CounterValue("scheduler.executor.lost") - lostBefore; d != 1 {
+	if d := snap.DeltaValue("scheduler.executor.lost"); d != 1 {
 		t.Fatalf("scheduler.executor.lost delta = %d, want 1", d)
 	}
 }

@@ -68,9 +68,13 @@ func (c *Context) combineExecutorVectors(dim int, accs map[string][]float64) ([]
 	if group.Size() >= 2 {
 		op := collective.NextOpID()
 		at := c.Clock()
+		kind := "allreduce"
+		if payloadLen <= group.Config().SmallLimit {
+			kind = "reduce"
+		}
 		var result []float64
 		var driverDone vtime.Stamp
-		err := group.Run(op, func(rank int) error {
+		err := group.Run(op, kind, payloadLen, func(rank int) error {
 			var in []byte
 			if rank == 0 {
 				in = make([]byte, payloadLen) // driver contributes zeros
@@ -177,9 +181,11 @@ func TreeReduce[T any](r *RDD[T], f func(a, b T) T, enc func(T) []byte, dec func
 	if group.Size() >= 2 {
 		op := collective.NextOpID()
 		at := c.Clock()
+		// Tree edges carry variable-length encodings; the observer's byte
+		// figure is unknowable upfront, so report zero.
 		var result []byte
 		var driverDone vtime.Stamp
-		err := group.Run(op, func(rank int) error {
+		err := group.Run(op, "reduce", 0, func(rank int) error {
 			var in []byte
 			if rank > 0 {
 				if p := accs[execs[rank-1].id]; p != nil {
