@@ -58,6 +58,9 @@ func main() {
 		t.AddRow("executors lost", report.Lost)
 		t.AddRow("executors replaced", report.Replaced)
 		t.AddRow("fetch failures", report.FetchFails)
+		t.AddRow("service pushed bytes", report.PushedBytes)
+		t.AddRow("service merged bytes", report.MergedBytes)
+		t.AddRow("service served bytes", report.ServedBytes)
 		tables = append(tables, t)
 	}
 	for _, t := range tables {

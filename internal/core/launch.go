@@ -9,6 +9,7 @@ import (
 	"mpi4spark/internal/mpi"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/shuffleservice"
 	"mpi4spark/internal/vtime"
 )
 
@@ -48,11 +49,12 @@ type MPICluster struct {
 	DriverEnv *rpc.Env
 	MasterEnv *rpc.Env
 
-	envs    []*rpc.Env
-	states  []*EnvState
-	mu      sync.Mutex
-	seats   map[string]*execSeat // current executor id -> its DPM seat
-	spawned []*spark.Executor    // respawned replacements (Executors keeps the initial set)
+	envs     []*rpc.Env
+	states   []*EnvState
+	mu       sync.Mutex
+	seats    map[string]*execSeat            // current executor id -> its DPM seat
+	spawned  []*spark.Executor               // respawned replacements (Executors keeps the initial set)
+	services map[int]*shuffleservice.Service // worker rank -> its external shuffle service
 }
 
 // execSeat records what LaunchMPICluster knew when it spawned one
@@ -68,6 +70,7 @@ type execSeat struct {
 	id      *Identity
 	slots   int
 	inflate func() float64
+	svc     *shuffleservice.Service
 	attempt int
 }
 
@@ -103,6 +106,33 @@ func (c *MPICluster) addEnv(env *rpc.Env, st *EnvState) {
 	defer c.mu.Unlock()
 	c.envs = append(c.envs, env)
 	c.states = append(c.states, st)
+}
+
+// Services returns the per-worker external shuffle services (empty when
+// the cluster launched without them).
+func (c *MPICluster) Services() []*shuffleservice.Service {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*shuffleservice.Service, 0, len(c.services))
+	for _, s := range c.services {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (c *MPICluster) setService(workerIdx int, s *shuffleservice.Service) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.services == nil {
+		c.services = make(map[int]*shuffleservice.Service)
+	}
+	c.services[workerIdx] = s
+}
+
+func (c *MPICluster) serviceFor(workerIdx int) *shuffleservice.Service {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.services[workerIdx]
 }
 
 // NewMPIEnv builds an RPC environment whose channels speak the given
@@ -190,16 +220,18 @@ func LaunchMPICluster(cfg ClusterConfig) (*MPICluster, error) {
 			inflate = func() float64 { return f }
 		}
 		slots := cfg.SlotsPerWorker / cfg.ExecutorsPerWorker
+		svc := cluster.serviceFor(workerIdx)
 		e := spark.NewExecutor(spark.ExecutorConfig{
-			ID:      fmt.Sprintf("exec-%d", execIdx),
-			Node:    node,
-			Env:     env,
-			Slots:   slots,
-			CPU:     cfg.CPU,
-			Inflate: inflate,
+			ID:             fmt.Sprintf("exec-%d", execIdx),
+			Node:           node,
+			Env:            env,
+			Slots:          slots,
+			CPU:            cfg.CPU,
+			Inflate:        inflate,
+			ShuffleService: svc,
 		})
 		cluster.mu.Lock()
-		cluster.seats[e.ID()] = &execSeat{idx: execIdx, node: node, id: id, slots: slots, inflate: inflate}
+		cluster.seats[e.ID()] = &execSeat{idx: execIdx, node: node, id: id, slots: slots, inflate: inflate, svc: svc}
 		cluster.mu.Unlock()
 		execCh <- e
 	}
@@ -227,6 +259,22 @@ func LaunchMPICluster(cfg ClusterConfig) (*MPICluster, error) {
 					return
 				}
 				cluster.addEnv(env, st)
+				// External shuffle service: its own rpc.Env on the worker
+				// node, sharing the worker's Identity (channels match by
+				// tag, so two envs can multiplex one MPI rank). Created
+				// before SpawnMultiple — the collective Allgather inside
+				// the spawn guarantees every executorMain observes it.
+				if cfg.Spark.ExternalShuffleService {
+					sEnv, sSt, err := NewMPIEnv(
+						fmt.Sprintf("shuffle-svc-%d", rank), cfg.WorkerNodes[rank],
+						"shuffle-svc-rpc", id, cfg.Design, cfg.Env)
+					if err != nil {
+						errCh <- fmt.Errorf("core: worker %d shuffle service env: %w", rank, err)
+						return
+					}
+					cluster.addEnv(sEnv, sSt)
+					cluster.setService(rank, shuffleservice.New(fmt.Sprintf("shuffle-svc-%d", rank), sEnv))
+				}
 				// Executor launch arguments for every worker; each rank
 				// builds the same list, and SpawnMultiple allgathers the
 				// argument blobs before the collective spawn.
@@ -352,13 +400,14 @@ func (c *MPICluster) respawnReplacer(cfg ClusterConfig) spark.ExecutorReplacer {
 		}
 		c.addEnv(env, st)
 		e := spark.NewExecutor(spark.ExecutorConfig{
-			ID:      name,
-			Node:    seat.node,
-			Env:     env,
-			Slots:   seat.slots,
-			CPU:     cfg.CPU,
-			Inflate: seat.inflate,
-			StartVT: startVT,
+			ID:             name,
+			Node:           seat.node,
+			Env:            env,
+			Slots:          seat.slots,
+			CPU:            cfg.CPU,
+			Inflate:        seat.inflate,
+			StartVT:        startVT,
+			ShuffleService: seat.svc,
 		})
 		c.mu.Lock()
 		c.seats[name] = seat

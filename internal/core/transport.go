@@ -405,6 +405,30 @@ func (h *optOutbound) Write(ctx *netty.Context, msg any) {
 			}
 			return
 		}
+	case *rpc.PushBlockRequest:
+		// Pushed map-output blocks are shuffle data: the body rides MPI in
+		// eager-sized pieces on one tag (the CollectiveChunk refinement —
+		// no RTS/CTS stall for blocks above the eager threshold), with the
+		// push header on the socket triggering the receives. Empty blocks
+		// are header-only.
+		if !m.BodyViaMPI && len(m.Body) > 0 {
+			tag := mpi.AllocTag()
+			thr := r.h.EagerThreshold()
+			vt := ctx.VT()
+			ctx.Write(&rpc.PushBlockRequest{
+				PushID: m.PushID, ShuffleID: m.ShuffleID,
+				MapID: m.MapID, ReduceID: m.ReduceID,
+				BodyViaMPI: true, BodySize: len(m.Body), BodyTag: tag,
+			})
+			for off := 0; off < len(m.Body); off += thr {
+				end := off + thr
+				if end > len(m.Body) {
+					end = len(m.Body)
+				}
+				vt = r.h.Isend(r.rank, tag, m.Body[off:end], vt).Wait(vt)
+			}
+			return
+		}
 	}
 	ctx.Write(msg)
 }
@@ -471,6 +495,30 @@ func (h *optInbound) ChannelRead(ctx *netty.Context, msg any) {
 			ctx.FireChannelRead(&rpc.CollectiveChunk{
 				OpID: m.OpID, Tag: m.Tag, Src: m.Src,
 				Total: m.Total, Offset: m.Offset,
+				Body: data, BodySize: len(data),
+			})
+			return
+		}
+	case *rpc.PushBlockRequest:
+		if m.BodyViaMPI && ready {
+			thr := r.h.EagerThreshold()
+			pieces := (m.BodySize + thr - 1) / thr
+			data, status := r.h.Recv(r.rank, m.BodyTag, ctx.VT())
+			vt := status.VT
+			if pieces > 1 {
+				buf := make([]byte, 0, m.BodySize)
+				buf = append(buf, data...)
+				for i := 1; i < pieces; i++ {
+					piece, st := r.h.Recv(r.rank, m.BodyTag, ctx.VT())
+					buf = append(buf, piece...)
+					vt = vtime.Max(vt, st.VT)
+				}
+				data = buf
+			}
+			ctx.SetVT(vtime.Max(ctx.VT(), vt))
+			ctx.FireChannelRead(&rpc.PushBlockRequest{
+				PushID: m.PushID, ShuffleID: m.ShuffleID,
+				MapID: m.MapID, ReduceID: m.ReduceID,
 				Body: data, BodySize: len(data),
 			})
 			return

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"mpi4spark/internal/core"
@@ -9,9 +10,11 @@ import (
 	"mpi4spark/internal/hibench"
 	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/mpi"
+	"mpi4spark/internal/obs"
 	"mpi4spark/internal/ohb"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/shuffleservice"
 	"mpi4spark/internal/vtime"
 )
 
@@ -475,4 +478,154 @@ func RunHeadline(o Options) (*HeadlineResult, *metrics.Table, error) {
 	t.AddRow("End-to-end", h.TotalVanilla, h.TotalRDMA, h.TotalMPI, h.E2EVsVanilla, h.E2EVsRDMA)
 	t.AddRow("Shuffle read", h.ReadVanilla, h.ReadRDMA, h.ReadMPI, h.ReadVsVanilla, h.ReadVsRDMA)
 	return h, t, nil
+}
+
+// ChaosKillRow is one chaos-kill recovery measurement: the virtual cost
+// of re-running a shuffle job after an executor process died mid-reduce,
+// with the external shuffle service off (map outputs die with the
+// executor) or on (outputs survive on the per-worker services).
+type ChaosKillRow struct {
+	Backend       spark.Backend
+	Service       bool
+	BaselineTime  vtime.Stamp // the same job with no failure
+	RecoveryTime  vtime.Stamp // the job that absorbed the kill
+	Resubmissions int64       // scheduler.map_stage.resubmissions delta
+	FetchFails    int64       // scheduler.fetch_failed delta
+	ServedBytes   int64       // shuffle.service.served_bytes delta
+}
+
+// RunChaosKill measures one backend/service configuration: job 1
+// materializes a shuffle and sets the no-failure baseline, then an
+// executor process is killed the moment its first reduce task of job 2
+// starts, and job 2's recovery is timed. When eventLog is non-empty the
+// run's lifecycle events are recorded there for cmd/eventlog replay.
+func RunChaosKill(o Options, backend spark.Backend, service bool, eventLog string) (*ChaosKillRow, error) {
+	o.defaults()
+	const workers = 3
+	spec := ClusterSpec{
+		System:            Frontera,
+		Workers:           workers,
+		Backend:           backend,
+		SlotsPerWorker:    o.SlotsPerWorker,
+		Supervise:         true,
+		HeartbeatInterval: 2 * time.Millisecond,
+		ExecutorTimeout:   30 * time.Millisecond,
+		ShuffleService:    service,
+		EventLogPath:      eventLog,
+	}
+	cl, err := BuildCluster(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	nParts := workers * o.SlotsPerWorker
+	pairBytes := int64(o.ValueBytes + 8)
+	perPart := int(o.BytesPerWorker * int64(workers) / int64(nParts) / pairBytes)
+	if perPart < 10 {
+		perPart = 10
+	}
+	valueBytes := o.ValueBytes
+	pairs := spark.Generate(cl.Ctx, nParts, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+		out := make([]spark.Pair[int64, int64], perPart)
+		for i := range out {
+			out[i] = spark.Pair[int64, int64]{K: int64(i % 64), V: int64(part + 1)}
+		}
+		tc.ChargeRecords(len(out), (valueBytes+8)*len(out))
+		return out
+	})
+	conf := spark.ShuffleConf[int64, int64]{
+		Codec: spark.PairCodec[int64, int64]{Key: spark.Int64Codec{}, Val: spark.Int64Codec{}},
+		Ops:   spark.Int64Key{},
+		Parts: nParts,
+	}
+	summed := spark.ReduceByKey(pairs, conf, func(a, b int64) int64 { return a + b })
+
+	row := &ChaosKillRow{Backend: backend, Service: service}
+	start := cl.Ctx.Clock()
+	if _, err := spark.Collect(summed); err != nil {
+		return nil, fmt.Errorf("baseline job: %w", err)
+	}
+	row.BaselineTime = cl.Ctx.Clock() - start
+
+	// Arm the kill: the first reduce task of the next job to start on the
+	// victim takes its executor process down synchronously.
+	victim := cl.Ctx.Executors()[1]
+	var mu sync.Mutex
+	kinds := map[int]string{}
+	var killOnce sync.Once
+	cl.Ctx.Bus().Subscribe(obs.ListenerFunc(func(e obs.Event) {
+		switch e.Type {
+		case obs.EvStageSubmitted:
+			mu.Lock()
+			kinds[e.Stage] = e.StageKind
+			mu.Unlock()
+		case obs.EvTaskStart:
+			mu.Lock()
+			kind := kinds[e.Stage]
+			mu.Unlock()
+			if kind == "ResultStage" && e.Executor == victim.ID() {
+				killOnce.Do(victim.Kill)
+			}
+		}
+	}))
+
+	snap := metrics.Snapshot()
+	start = cl.Ctx.Clock()
+	if _, err := spark.Collect(summed); err != nil {
+		return nil, fmt.Errorf("recovery job: %w", err)
+	}
+	row.RecoveryTime = cl.Ctx.Clock() - start
+	row.Resubmissions = snap.DeltaValue("scheduler.map_stage.resubmissions")
+	row.FetchFails = snap.DeltaValue("scheduler.fetch_failed")
+	row.ServedBytes = snap.DeltaValue(shuffleservice.CounterServedBytes)
+	return row, nil
+}
+
+// RunChaosKillTable runs the chaos-kill recovery matrix — every backend,
+// service off then on — and renders the recovery-cost comparison.
+// eventLogDir, when non-empty, receives one JSONL log per run (named
+// chaos-<backend>-<off|on>.jsonl) for cmd/eventlog replay.
+func RunChaosKillTable(o Options, eventLogDir string) ([]ChaosKillRow, *metrics.Table, error) {
+	var rows []ChaosKillRow
+	for _, backend := range []spark.Backend{
+		spark.BackendVanilla, spark.BackendRDMA, spark.BackendMPIBasic, spark.BackendMPIOpt,
+	} {
+		for _, service := range []bool{false, true} {
+			logPath := ""
+			if eventLogDir != "" {
+				mode := "off"
+				if service {
+					mode = "on"
+				}
+				logPath = fmt.Sprintf("%s/chaos-%s-%s.jsonl", eventLogDir, backend, mode)
+			}
+			row, err := RunChaosKill(o, backend, service, logPath)
+			if err != nil {
+				return nil, nil, fmt.Errorf("chaos %s service=%v: %w", backend, service, err)
+			}
+			rows = append(rows, *row)
+		}
+	}
+	t := &metrics.Table{
+		Title:   "Chaos kill: executor death mid-reduce, recovery cost (virtual time)",
+		Columns: []string{"Backend", "Service", "Baseline", "Recovery", "Overhead%", "MapResubmits", "FetchFails"},
+		Notes: []string{
+			"service off: map outputs die with the executor -> FetchFailed + map-stage resubmission",
+			"service on: outputs survive on per-worker services -> reduce-only retry, zero resubmissions",
+		},
+	}
+	for _, r := range rows {
+		mode := "off"
+		if r.Service {
+			mode = "on"
+		}
+		overhead := 0.0
+		if r.BaselineTime > 0 {
+			overhead = 100 * float64(r.RecoveryTime-r.BaselineTime) / float64(r.BaselineTime)
+		}
+		t.AddRow(r.Backend, mode, r.BaselineTime, r.RecoveryTime,
+			fmt.Sprintf("%.1f", overhead), r.Resubmissions, r.FetchFails)
+	}
+	return rows, t, nil
 }

@@ -108,6 +108,10 @@ type ClusterSpec struct {
 	// EventLogPath records the run's lifecycle events as JSONL
 	// (spark.Config.EventLogPath), replayable with cmd/eventlog.
 	EventLogPath string
+	// ShuffleService enables the per-worker external shuffle service
+	// (spark.Config.ExternalShuffleService): map outputs are pushed to and
+	// served from a node-local service endpoint that survives executor loss.
+	ShuffleService bool
 }
 
 // BuildCluster constructs the cluster: standalone deploy for Vanilla and
@@ -146,6 +150,7 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 	sparkCfg.CPU = cpu
 	sparkCfg.DefaultParallelism = spec.Workers * slots
 	sparkCfg.EventLogPath = spec.EventLogPath
+	sparkCfg.ExternalShuffleService = spec.ShuffleService
 	if spec.Supervise {
 		sparkCfg.HeartbeatInterval = spark.DefaultHeartbeatInterval
 		sparkCfg.ExecutorTimeout = spark.DefaultExecutorTimeout

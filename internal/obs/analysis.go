@@ -89,6 +89,16 @@ type Report struct {
 	Replaced   int // ExecutorReplaced events
 	FetchFails int // FetchFailed events
 	Collective int // CollectiveOp events
+
+	// External shuffle service activity (zero when the service is off).
+	// Byte totals must match the shuffle.service.{pushed,merged,served}_bytes
+	// counter deltas for the run.
+	ServicePushes int
+	ServiceMerges int
+	ServiceServes int
+	PushedBytes   int64
+	MergedBytes   int64
+	ServedBytes   int64
 }
 
 // Totals sums shuffle-read bytes over every task attempt in the log —
@@ -173,6 +183,15 @@ func Analyze(events []Event) *Report {
 			r.FetchFails++
 		case EvCollectiveOp:
 			r.Collective++
+		case EvShufflePush:
+			r.ServicePushes++
+			r.PushedBytes += int64(e.Bytes)
+		case EvShuffleMerge:
+			r.ServiceMerges++
+			r.MergedBytes += int64(e.Bytes)
+		case EvShuffleServe:
+			r.ServiceServes++
+			r.ServedBytes += int64(e.Bytes)
 		}
 	}
 	sort.Slice(r.Jobs, func(a, b int) bool { return r.Jobs[a].Job < r.Jobs[b].Job })
@@ -207,6 +226,12 @@ func (r *Report) TimelineTable() *metrics.Table {
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"faults: %d executors lost, %d replaced, %d fetch failures",
 			r.Lost, r.Replaced, r.FetchFails))
+	}
+	if r.ServicePushes+r.ServiceServes > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"shuffle service: pushed %d B in %d blocks, merged %d B in %d runs, served %d B in %d fetches",
+			r.PushedBytes, r.ServicePushes, r.MergedBytes, r.ServiceMerges,
+			r.ServedBytes, r.ServiceServes))
 	}
 	return t
 }

@@ -34,6 +34,9 @@ const (
 	EvExecutorReplaced = "ExecutorReplaced"
 	EvCollectiveOp     = "CollectiveOp"
 	EvFetchFailed      = "FetchFailed"
+	EvShufflePush      = "ShufflePush"
+	EvShuffleMerge     = "ShuffleMerge"
+	EvShuffleServe     = "ShuffleServe"
 )
 
 // Event is one structured lifecycle record. The zero values of the ID
@@ -61,7 +64,9 @@ type Event struct {
 	BytesRemote int64       `json:"bytesRemote,omitempty"` // shuffle bytes fetched remotely
 	FetchWait   vtime.Stamp `json:"fetchWait,omitempty"`   // VT spent blocked on shuffle fetch
 
-	// Shuffle fetch failure (FetchFailed).
+	// Shuffle fetch failure (FetchFailed) and external shuffle service
+	// traffic (ShufflePush/ShuffleMerge/ShuffleServe, which also set
+	// Executor to the service ID and Bytes to the payload size).
 	ShuffleID int `json:"shuffleId,omitempty"`
 	MapID     int `json:"mapId,omitempty"`
 	ReduceID  int `json:"reduceId,omitempty"`

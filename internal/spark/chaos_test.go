@@ -11,6 +11,8 @@ package spark_test
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -18,9 +20,11 @@ import (
 	"mpi4spark/internal/core"
 	"mpi4spark/internal/fabric"
 	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/obs"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/deploy"
 	"mpi4spark/internal/spark/shuffle"
+	"mpi4spark/internal/spark/shuffleservice"
 )
 
 const chaosWorkers = 3
@@ -194,6 +198,107 @@ func TestChaosMapOutputLossResubmission(t *testing.T) {
 			}
 			if n != 10 {
 				t.Fatalf("job 3 count = %d, want 10", n)
+			}
+		})
+	}
+}
+
+// TestChaosExecutorKillMidReduceWithService is the push-merge payoff
+// scenario: with the external shuffle service enabled, job 1 materializes
+// a shuffle whose outputs live on the per-worker services, then job 2's
+// first reduce task to land on exec-1 triggers a synchronous process kill
+// — a mid-reduce executor loss on every backend. Because the services (not
+// the dead executor) host the map outputs, recovery must cost only the
+// failed-over reduce attempts: zero map-stage resubmissions, and a result
+// bit-identical to the pre-kill run. The service-off flavor of the same
+// loss — where resubmission IS required — stays covered by
+// TestChaosMapOutputLossResubmission above.
+func TestChaosExecutorKillMidReduceWithService(t *testing.T) {
+	const nParts = 6
+	for _, backend := range chaosBackends {
+		t.Run(backend.String(), func(t *testing.T) {
+			cc := newChaosClusterCfg(t, backend, func(cfg *spark.Config) {
+				superviseChaos(cfg)
+				cfg.ExternalShuffleService = true
+			})
+			victim := cc.ctx.Executors()[1]
+
+			pairs := spark.Generate(cc.ctx, nParts, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+				out := make([]spark.Pair[int64, int64], 40)
+				for i := range out {
+					out[i] = spark.Pair[int64, int64]{K: int64(i % 10), V: int64(part + 1)}
+				}
+				tc.ChargeRecords(len(out), 16*len(out))
+				return out
+			})
+			summed := spark.ReduceByKey(pairs, chaosConf(nParts), func(a, b int64) int64 { return a + b })
+
+			// Job 1 is the no-kill baseline: map outputs are pushed to the
+			// services and the reduce fetches merged runs from them.
+			snap := metrics.Snapshot()
+			baseline, err := spark.Collect(summed)
+			if err != nil {
+				t.Fatalf("baseline job: %v", err)
+			}
+			verifySums(t, baseline, nParts)
+			if d := snap.DeltaValue(shuffleservice.CounterPushedBytes); d == 0 {
+				t.Fatal("service enabled but nothing was pushed")
+			}
+			if d := snap.DeltaValue(shuffleservice.CounterServedBytes); d == 0 {
+				t.Fatal("service enabled but reduce fetched nothing from it")
+			}
+
+			// Arm the chaos trigger: the first reduce (ResultStage) task to
+			// start on the victim kills its process synchronously, before
+			// the task's fetch begins — a loss with the reduce mid-flight.
+			var (
+				mu       sync.Mutex
+				kinds    = map[int]string{}
+				armed    = true
+				killOnce sync.Once
+			)
+			cc.ctx.Bus().Subscribe(obs.ListenerFunc(func(e obs.Event) {
+				switch e.Type {
+				case obs.EvStageSubmitted:
+					mu.Lock()
+					kinds[e.Stage] = e.StageKind
+					mu.Unlock()
+				case obs.EvTaskStart:
+					mu.Lock()
+					kind, on := kinds[e.Stage], armed
+					mu.Unlock()
+					if on && kind == "ResultStage" && e.Executor == victim.ID() {
+						killOnce.Do(func() {
+							mu.Lock()
+							armed = false
+							mu.Unlock()
+							victim.Kill()
+						})
+					}
+				}
+			}))
+
+			snap = metrics.Snapshot()
+			out, err := spark.Collect(summed)
+			if err != nil {
+				t.Fatalf("job with mid-reduce executor kill: %v", err)
+			}
+			sort.Slice(out, func(a, b int) bool { return out[a].K < out[b].K })
+			sort.Slice(baseline, func(a, b int) bool { return baseline[a].K < baseline[b].K })
+			if !reflect.DeepEqual(out, baseline) {
+				t.Fatalf("recovered result differs from no-kill run:\n got %+v\nwant %+v", out, baseline)
+			}
+
+			if d := snap.DeltaValue("scheduler.executor.lost"); d < 1 {
+				t.Fatalf("scheduler.executor.lost delta = %d, want >= 1", d)
+			}
+			// The headline assertion: the map outputs survived on the
+			// services, so the scheduler never re-ran the map stage.
+			if d := snap.DeltaValue("scheduler.map_stage.resubmissions"); d != 0 {
+				t.Fatalf("map stage resubmitted %d times with the service on, want 0", d)
+			}
+			if d := snap.DeltaValue(shuffleservice.CounterServedBytes); d == 0 {
+				t.Fatal("recovered reduce did not fetch from the services")
 			}
 		})
 	}

@@ -55,6 +55,12 @@ type Config struct {
 	// batched fetch requests per reduce task
 	// (spark.reducer.maxBytesInFlight; default 48 MiB).
 	ShuffleMaxBytesInFlight int64
+	// ExternalShuffleService enables the per-worker external shuffle
+	// service (spark.shuffle.service.enabled): map tasks push committed
+	// blocks to their node-local service, map statuses point at the
+	// service, and reducers fetch merged runs from it — so executor loss
+	// no longer forgets map outputs or resubmits completed map stages.
+	ExternalShuffleService bool
 	// HeartbeatInterval is the virtual-time period of the executor →
 	// driver liveness heartbeat (spark.executor.heartbeatInterval). <= 0
 	// disables supervision entirely: executor loss is then detected only
@@ -206,10 +212,10 @@ type Context struct {
 	rrNext       int
 	bcast        *broadcastState
 	collDriver   *collective.Station
-	unhealthy    map[string]bool   // executors excluded from placement
-	runningOn    map[int64]string  // task id -> executor currently running it
-	lostExecs    map[string]bool   // executors already declared lost
-	replacer     ExecutorReplacer  // deployment hook forking replacements
+	unhealthy    map[string]bool  // executors excluded from placement
+	runningOn    map[int64]string // task id -> executor currently running it
+	lostExecs    map[string]bool  // executors already declared lost
+	replacer     ExecutorReplacer // deployment hook forking replacements
 
 	// bus carries lifecycle events (see internal/obs); eventLog is the
 	// JSONL writer subscribed when Config.EventLogPath is set.

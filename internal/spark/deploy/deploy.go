@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/rdma"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/shuffleservice"
 	"mpi4spark/internal/ucr"
 	"mpi4spark/internal/vtime"
 )
@@ -53,11 +55,16 @@ type Cluster struct {
 	DriverEnv *rpc.Env
 	MasterEnv *rpc.Env
 	Workers   []*rpc.Env
+	// Services holds the per-worker external shuffle services (nil entries
+	// when cfg.Spark.ExternalShuffleService is off).
+	Services []*shuffleservice.Service
 
 	envs []*rpc.Env
 	// spawned holds every executor the workers ever forked, including
 	// replacements launched after a loss (Executors keeps the initial set).
 	spawned []*spark.Executor
+	// closers releases non-env resources (service UCR servers).
+	closers []func()
 }
 
 // Close shuts everything down.
@@ -67,6 +74,9 @@ func (c *Cluster) Close() {
 	}
 	for _, e := range c.spawned {
 		e.Close()
+	}
+	for _, fn := range c.closers {
+		fn()
 	}
 	for _, env := range c.envs {
 		env.Shutdown()
@@ -190,6 +200,33 @@ func StartCluster(cfg Config) (*Cluster, error) {
 		cl.Workers = append(cl.Workers, wEnv)
 		widx := i
 		wNode := node
+		// External shuffle service: one per worker node, outside any
+		// executor process, so a forked replacement inherits it and an
+		// executor death never takes pushed map outputs with it.
+		var svc *shuffleservice.Service
+		if cfg.Spark.ExternalShuffleService {
+			sEnv, err := rpc.NewEnv(fmt.Sprintf("shuffle-svc-%d", i), node, fmt.Sprintf("shuffle-svc-rpc-%d", i), envCfg)
+			if err != nil {
+				return fail(err)
+			}
+			cl.envs = append(cl.envs, sEnv)
+			svc = shuffleservice.New(fmt.Sprintf("shuffle-svc-%d", i), sEnv)
+			if cfg.Backend == spark.BackendRDMA {
+				// The service is a first-class UCR peer too: reducers on the
+				// RDMA backend fetch merged runs over verbs, while pushes
+				// ride the Netty control plane like RDMA-Spark's RPC does.
+				ucrCfg := cfg.UCR
+				if ucrCfg.ChunkSize == 0 {
+					ucrCfg = ucr.DefaultConfig()
+				}
+				srv := ucr.NewServer(rdma.OpenDevice(node), svc.Resolve, ucrCfg)
+				reg.mu.Lock()
+				reg.servers[svc.ID()] = srv
+				reg.mu.Unlock()
+				cl.closers = append(cl.closers, srv.Close)
+			}
+		}
+		cl.Services = append(cl.Services, svc)
 		if err := wEnv.RegisterEndpoint(WorkerEndpoint, func(c *rpc.Call) {
 			if !strings.HasPrefix(string(c.Payload), "launch-executor") {
 				c.Reply(nil, c.VT)
@@ -212,15 +249,16 @@ func StartCluster(cfg Config) (*Cluster, error) {
 			// the process-management path).
 			forkedVT := c.VT.Add(2 * time.Millisecond)
 			e := spark.NewExecutor(spark.ExecutorConfig{
-				ID:          execID,
-				Node:        wNode,
-				Env:         eEnv,
-				Slots:       cfg.SlotsPerWorker,
-				CPU:         cfg.CPU,
-				UseUCR:      cfg.Backend == spark.BackendRDMA,
-				UCRRegistry: reg,
-				UCRConfig:   cfg.UCR,
-				StartVT:     forkedVT,
+				ID:             execID,
+				Node:           wNode,
+				Env:            eEnv,
+				Slots:          cfg.SlotsPerWorker,
+				CPU:            cfg.CPU,
+				UseUCR:         cfg.Backend == spark.BackendRDMA,
+				UCRRegistry:    reg,
+				UCRConfig:      cfg.UCR,
+				StartVT:        forkedVT,
+				ShuffleService: svc,
 			})
 			if cfg.Backend == spark.BackendRDMA {
 				reg.mu.Lock()

@@ -12,6 +12,7 @@ import (
 	"mpi4spark/internal/metrics"
 	"mpi4spark/internal/obs"
 	"mpi4spark/internal/spark"
+	"mpi4spark/internal/spark/shuffleservice"
 )
 
 func TestEventLogMatchesCountersAcrossTransports(t *testing.T) {
@@ -111,6 +112,73 @@ func TestEventLogMatchesCountersAcrossTransports(t *testing.T) {
 			}
 			if reduceWait == 0 {
 				t.Fatal("no reduce stage recorded shuffle fetch-wait")
+			}
+		})
+	}
+}
+
+// TestEventLogServiceCountersAcrossTransports is the service flavor of the
+// two-views-of-one-truth check: with the external shuffle service on, the
+// event log's ShufflePush/ShuffleMerge/ShuffleServe byte totals must
+// exactly equal the shuffle.service.{pushed,merged,served}_bytes counter
+// deltas — and in a clean run all three tally to the same number.
+func TestEventLogServiceCountersAcrossTransports(t *testing.T) {
+	const nParts = 6
+	for _, backend := range chaosBackends {
+		t.Run(backend.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.jsonl")
+			snap := metrics.Snapshot()
+			cc := newChaosClusterCfg(t, backend, func(c *spark.Config) {
+				c.EventLogPath = path
+				c.ExternalShuffleService = true
+			})
+
+			pairs := spark.Generate(cc.ctx, nParts, func(part int, tc *spark.TaskContext) []spark.Pair[int64, int64] {
+				out := make([]spark.Pair[int64, int64], 40)
+				for i := range out {
+					out[i] = spark.Pair[int64, int64]{K: int64(i % 10), V: int64(part + 1)}
+				}
+				tc.ChargeRecords(len(out), 16*len(out))
+				return out
+			})
+			summed := spark.ReduceByKey(pairs, chaosConf(nParts), func(a, b int64) int64 { return a + b })
+			out, err := spark.Collect(summed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifySums(t, out, nParts)
+			cc.close()
+
+			wantPushed := snap.DeltaValue(shuffleservice.CounterPushedBytes)
+			wantMerged := snap.DeltaValue(shuffleservice.CounterMergedBytes)
+			wantServed := snap.DeltaValue(shuffleservice.CounterServedBytes)
+			if wantPushed == 0 {
+				t.Fatal("service run pushed nothing; test proves nothing")
+			}
+			if wantMerged != wantPushed || wantServed != wantPushed {
+				t.Fatalf("clean run should reconcile: pushed=%d merged=%d served=%d",
+					wantPushed, wantMerged, wantServed)
+			}
+
+			events, err := obs.ReadLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report := obs.Analyze(events)
+			if report.PushedBytes != wantPushed || report.MergedBytes != wantMerged || report.ServedBytes != wantServed {
+				t.Fatalf("event-log service bytes (pushed=%d merged=%d served=%d) != counter deltas (pushed=%d merged=%d served=%d)",
+					report.PushedBytes, report.MergedBytes, report.ServedBytes,
+					wantPushed, wantMerged, wantServed)
+			}
+			if report.ServicePushes == 0 || report.ServiceMerges == 0 || report.ServiceServes == 0 {
+				t.Fatalf("service event counts = %d/%d/%d pushes/merges/serves, want all > 0",
+					report.ServicePushes, report.ServiceMerges, report.ServiceServes)
+			}
+			// The reduce read everything remotely (the services host every
+			// block), and the task-attributed bytes agree with the serves.
+			_, remote := report.Totals()
+			if remote != wantServed {
+				t.Fatalf("task-attributed remote bytes %d != served bytes %d", remote, wantServed)
 			}
 		})
 	}

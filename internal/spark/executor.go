@@ -14,6 +14,7 @@ import (
 	"mpi4spark/internal/rdma"
 	"mpi4spark/internal/spark/rpc"
 	"mpi4spark/internal/spark/shuffle"
+	"mpi4spark/internal/spark/shuffleservice"
 	"mpi4spark/internal/spark/storage"
 	"mpi4spark/internal/ucr"
 	"mpi4spark/internal/vtime"
@@ -77,6 +78,7 @@ type Executor struct {
 
 	tracker *shuffle.TrackerClient
 	loc     shuffle.Location
+	svc     *shuffleservice.Service
 	nSlots  int
 	slots   chan *slot
 	cpu     CPUModel
@@ -128,6 +130,10 @@ type ExecutorConfig struct {
 	// cluster-launch executors; replacements start at their respawn time
 	// so their slots cannot run tasks before the process existed).
 	StartVT vtime.Stamp
+	// ShuffleService, when set, is the node-local external shuffle service
+	// map tasks push committed blocks to; map statuses then point at the
+	// service's location instead of the executor's.
+	ShuffleService *shuffleservice.Service
 }
 
 // NewExecutor builds an executor around an existing RPC environment. Call
@@ -145,6 +151,7 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		slots:   make(chan *slot, cfg.Slots),
 		cpu:     cfg.CPU,
 		inflate: cfg.Inflate,
+		svc:     cfg.ShuffleService,
 		cached:  make(map[cacheKey]any),
 		running: make(map[int64]struct{}),
 	}
@@ -208,6 +215,9 @@ func (e *Executor) Attach(ctx *Context) error {
 	e.sm.ChunkBytes = ctx.cfg.ShuffleChunkBytes
 	e.sm.MaxBytesInFlight = ctx.cfg.ShuffleMaxBytesInFlight
 	e.coll = collective.NewStation(e.env)
+	if e.svc != nil {
+		e.svc.SetBus(ctx.bus)
+	}
 	if err := e.env.RegisterEndpoint(BroadcastEndpoint, func(c *rpc.Call) {
 		e.dropBroadcast(string(c.Payload))
 		c.Reply([]byte{1}, c.VT.Add(broadcastDropCost))
@@ -226,6 +236,32 @@ func (e *Executor) Attach(ctx *Context) error {
 		// Run the task on a slot without blocking the dispatch loop.
 		go e.runTask(desc, c.VT)
 	})
+}
+
+// writeMapOutput commits one map task's partitioned output: blocks land in
+// the executor's own block manager, and — when a node-local external
+// shuffle service is attached — every non-empty block is pushed to the
+// service synchronously before the task reports success. The returned
+// MapStatus then points at the service's location, so the output survives
+// this executor's death. A failed push fails the task (the scheduler's
+// ordinary task retry covers it); the local write is kept either way.
+func (e *Executor) writeMapOutput(tc *TaskContext, shuffleID, mapID int, parts [][]byte) (*shuffle.MapStatus, error) {
+	st := e.sm.WriteMapOutput(shuffleID, mapID, parts, e.loc)
+	if e.svc == nil {
+		return st, nil
+	}
+	addr := e.svc.Addr()
+	for r, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		_, vt, err := e.env.PushBlock(addr, shuffleID, mapID, r, p, tc.vt)
+		if err != nil {
+			return nil, fmt.Errorf("push shuffle block %d/%d/%d to %s: %w", shuffleID, mapID, r, e.svc.ID(), err)
+		}
+		tc.vt = vtime.Max(tc.vt, vt)
+	}
+	return &shuffle.MapStatus{Loc: e.svc.Location(), Sizes: st.Sizes}, nil
 }
 
 // runTask executes one task on a free slot and reports the status update

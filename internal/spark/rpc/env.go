@@ -144,6 +144,7 @@ type Env struct {
 	chunkResolver  func(blockID string) ([]byte, bool)
 	streamResolver func(streamID string) ([]byte, bool)
 	collectiveSink func(m *CollectiveChunk, vt vtime.Stamp)
+	pushHandler    func(m *PushBlockRequest, vt vtime.Stamp) ([]byte, error)
 	onShutdown     []func()
 
 	// OnChannelActive, when set, observes every new channel (diagnostics
@@ -296,6 +297,8 @@ func (h *dispatchHandler) ChannelRead(ctx *netty.Context, msg any) {
 		if sink != nil {
 			sink(m, vt)
 		}
+	case *PushBlockRequest:
+		e.servePush(ch, m, vt)
 	case *StreamRequest:
 		e.serveStream(ch, m, vt)
 	case *StreamResponse:
@@ -401,6 +404,26 @@ func (e *Env) checkChannelAlive(ch *netty.Channel) {
 	if conn := ch.Conn(); conn != nil && conn.Closed() {
 		e.failChannel(ch)
 	}
+}
+
+// servePush hands one pushed block to the registered push handler and acks
+// with an RpcResponse (or RpcFailure) correlated by PushID. Like chunk
+// serving it is charged on the stream-manager clock.
+func (e *Env) servePush(ch *netty.Channel, m *PushBlockRequest, vt vtime.Stamp) {
+	e.mu.Lock()
+	handler := e.pushHandler
+	e.mu.Unlock()
+	svt := e.chunkClock.ObserveAndAdvance(vt, e.cfg.ChunkServeCost)
+	if handler == nil {
+		ch.Write(&RpcFailure{ReqID: m.PushID, Error: "no push handler"}, svt)
+		return
+	}
+	ack, err := handler(m, svt)
+	if err != nil {
+		ch.Write(&RpcFailure{ReqID: m.PushID, Error: err.Error()}, svt)
+		return
+	}
+	ch.Write(&RpcResponse{ReqID: m.PushID, Payload: ack}, svt)
 }
 
 // serveChunk answers a ChunkFetchRequest from the registered resolver.
@@ -797,6 +820,16 @@ func (e *Env) RegisterStreamResolver(fn func(streamID string) ([]byte, bool)) {
 	e.mu.Unlock()
 }
 
+// RegisterPushHandler installs the receiver for inbound PushBlockRequest
+// messages (the external shuffle service's ingest side). The handler's
+// returned bytes become the RpcResponse ack payload; an error becomes an
+// RpcFailure.
+func (e *Env) RegisterPushHandler(fn func(m *PushBlockRequest, vt vtime.Stamp) ([]byte, error)) {
+	e.mu.Lock()
+	e.pushHandler = fn
+	e.mu.Unlock()
+}
+
 // RegisterCollectiveSink installs the receiver for inbound CollectiveChunk
 // messages (the collective layer's station). The sink runs on the channel's
 // dispatch path and must not block.
@@ -905,6 +938,26 @@ func (e *Env) FetchChunk(peer fabric.Addr, blockID string, at vtime.Stamp) ([]by
 		return nil, at, ErrShutdown
 	}
 	ch.Write(&ChunkFetchRequest{FetchID: id, BlockID: blockID}, vt)
+	e.checkChannelAlive(ch)
+	r := <-reply
+	return r.data, vtime.Max(r.vt, at), r.err
+}
+
+// PushBlock pushes one committed shuffle block to the external shuffle
+// service at peer and blocks for the ack — map tasks only report success
+// once the service owns the block. It returns the service's ack payload
+// and the virtual completion time.
+func (e *Env) PushBlock(peer fabric.Addr, shuffleID, mapID, reduceID int, body []byte, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+	ch, vt, err := e.connTo(peer, at)
+	if err != nil {
+		return nil, at, err
+	}
+	id := e.reqSeq.Add(1)
+	reply := make(chan askReply, 1)
+	if !e.registerAsk(id, &pendingAsk{ch: ch, reply: reply}) {
+		return nil, at, ErrShutdown
+	}
+	ch.Write(&PushBlockRequest{PushID: id, ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID, Body: body}, vt)
 	e.checkChannelAlive(ch)
 	r := <-reply
 	return r.data, vtime.Max(r.vt, at), r.err

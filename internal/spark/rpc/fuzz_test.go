@@ -22,6 +22,8 @@ func fuzzSeeds() [][]byte {
 		&StreamRequest{StreamID: "jar/app.jar"},
 		&StreamResponse{StreamID: "jar/app.jar", Body: []byte("jar-bytes")},
 		&StreamResponse{StreamID: "jar/app.jar", BodyViaMPI: true, BodySize: 4096, BodyTag: 3},
+		&PushBlockRequest{PushID: 11, ShuffleID: 1, MapID: 2, ReduceID: 3, Body: []byte("pushed-bytes")},
+		&PushBlockRequest{PushID: 11, ShuffleID: 1, MapID: 2, ReduceID: 3, BodyViaMPI: true, BodySize: 1 << 16, BodyTag: 5},
 	}
 	out := make([][]byte, len(msgs))
 	for i, m := range msgs {
@@ -97,6 +99,10 @@ func normalizeMsg(m Message) Message {
 		c.Body = normBytes(c.Body)
 		return &c
 	case *StreamResponse:
+		c := *t
+		c.Body = normBytes(c.Body)
+		return &c
+	case *PushBlockRequest:
 		c := *t
 		c.Body = normBytes(c.Body)
 		return &c

@@ -43,6 +43,9 @@ const (
 	// operation (tree broadcast, binomial reduce, ring allreduce) flowing
 	// rank-to-rank through the collective layer.
 	TypeCollectiveChunk
+	// TypePushBlock pushes one committed map-output block to an external
+	// shuffle service (the Magnet-style push-merge data path).
+	TypePushBlock
 )
 
 // String names the message type.
@@ -70,6 +73,8 @@ func (t MsgType) String() string {
 		return "BlockBatchChunk"
 	case TypeCollectiveChunk:
 		return "CollectiveChunk"
+	case TypePushBlock:
+		return "PushBlock"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -377,6 +382,53 @@ func (m *CollectiveChunk) Encode(buf *bytebuf.Buf) {
 	}
 }
 
+// PushBlockRequest pushes one committed shuffle block from a map task to
+// its node-local external shuffle service. PushID correlates the service's
+// RpcResponse/RpcFailure ack. Like ChunkFetchSuccess it is a
+// MessageWithHeader: on the MPI4Spark-Optimized design the block body
+// ships over MPI in eager-threshold pieces while the header stays on the
+// socket (BodyViaMPI/BodySize/BodyTag).
+type PushBlockRequest struct {
+	PushID     int64
+	ShuffleID  int
+	MapID      int
+	ReduceID   int
+	Body       []byte
+	BodyViaMPI bool
+	BodySize   int
+	BodyTag    int
+}
+
+// Type implements Message.
+func (m *PushBlockRequest) Type() MsgType { return TypePushBlock }
+
+// WireSize implements Message.
+func (m *PushBlockRequest) WireSize() int {
+	n := 1 + 8 + 4 + 4 + 4
+	if m.BodyViaMPI {
+		return n + 1 + 8 + 8
+	}
+	return n + 1 + 8 + len(m.Body)
+}
+
+// Encode implements Message.
+func (m *PushBlockRequest) Encode(buf *bytebuf.Buf) {
+	buf.WriteByte(byte(TypePushBlock))
+	buf.WriteInt64(m.PushID)
+	buf.WriteUint32(uint32(m.ShuffleID))
+	buf.WriteUint32(uint32(m.MapID))
+	buf.WriteUint32(uint32(m.ReduceID))
+	if m.BodyViaMPI {
+		buf.WriteByte(1)
+		buf.WriteUint64(uint64(m.BodySize))
+		buf.WriteInt64(int64(m.BodyTag))
+	} else {
+		buf.WriteByte(0)
+		buf.WriteUint64(uint64(len(m.Body)))
+		buf.WriteBytes(m.Body)
+	}
+}
+
 // StreamRequest opens a stream (jar/file distribution in Spark).
 type StreamRequest struct {
 	StreamID string
@@ -580,6 +632,28 @@ func Decode(buf *bytebuf.Buf) (Message, error) {
 		if m.Offset, err = buf.ReadUint64(); err != nil {
 			return nil, err
 		}
+		if err := decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypePushBlock:
+		m := &PushBlockRequest{}
+		if m.PushID, err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+		var v uint32
+		if v, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
+		m.ShuffleID = int(v)
+		if v, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
+		m.MapID = int(v)
+		if v, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
+		m.ReduceID = int(v)
 		if err := decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag); err != nil {
 			return nil, err
 		}

@@ -191,7 +191,10 @@ func (c *Context) runShuffleMapStage(jobID int, dep *ShuffleDep) error {
 					return nil, nil, err
 				}
 				parts := dep.write(data, tc)
-				st := tc.exec.sm.WriteMapOutput(dep.shuffleID, p, parts, tc.exec.loc)
+				st, err := tc.exec.writeMapOutput(tc, dep.shuffleID, p, parts)
+				if err != nil {
+					return nil, nil, err
+				}
 				return nil, st, nil
 			},
 		}

@@ -1,0 +1,92 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"mpi4spark/internal/bytebuf"
+	"mpi4spark/internal/spark/storage"
+)
+
+// mergedBlockPrefix distinguishes service-side merged runs from ordinary
+// map-output blocks. It deliberately does not match the "shuffle_<id>_"
+// prefix BlockManager.RemoveShuffle scans, so a merged run is addressed
+// and evicted explicitly by the service that built it.
+const mergedBlockPrefix = "shuffleMerged"
+
+// MergedBlockID names the external shuffle service's merged run of every
+// map output pushed for one reduce partition:
+// "shuffleMerged_<shuffle>_<reduce>".
+func MergedBlockID(shuffleID, reduceID int) storage.BlockID {
+	return storage.BlockID(fmt.Sprintf("%s_%d_%d", mergedBlockPrefix, shuffleID, reduceID))
+}
+
+// ParseMergedBlockID reports whether id names a merged run and, if so, its
+// shuffle and reduce partition.
+func ParseMergedBlockID(id string) (shuffleID, reduceID int, ok bool) {
+	var s, r int
+	if n, err := fmt.Sscanf(id, mergedBlockPrefix+"_%d_%d", &s, &r); err != nil || n != 2 {
+		return 0, 0, false
+	}
+	return s, r, true
+}
+
+// MergedEntry is one map task's contribution inside a merged run.
+type MergedEntry struct {
+	MapID int
+	Data  []byte
+}
+
+// EncodeMergedRun frames a locality-sorted merged run: an entry count
+// followed by (mapID, length, bytes) triples in the order given. The
+// service sorts entries by map id before encoding so reducers consume one
+// sequential run instead of per-map random reads.
+func EncodeMergedRun(entries []MergedEntry) []byte {
+	n := 4
+	for _, e := range entries {
+		n += 4 + 8 + len(e.Data)
+	}
+	buf := bytebuf.New(n)
+	buf.WriteUint32(uint32(len(entries)))
+	for _, e := range entries {
+		buf.WriteUint32(uint32(e.MapID))
+		buf.WriteUint64(uint64(len(e.Data)))
+		buf.WriteBytes(e.Data)
+	}
+	return buf.Bytes()
+}
+
+// DecodeMergedRun parses a merged-run frame. Entry data is copied out of
+// the frame, so the caller may release pooled backing memory immediately.
+func DecodeMergedRun(data []byte) ([]MergedEntry, error) {
+	buf := bytebuf.Wrap(data)
+	count, err := buf.ReadUint32()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry occupies at least its 12-byte header; reject counts the
+	// frame cannot possibly hold before allocating.
+	if int64(count)*12 > int64(buf.ReadableBytes()) {
+		return nil, fmt.Errorf("shuffle: merged run claims %d entries in %d bytes", count, buf.ReadableBytes())
+	}
+	entries := make([]MergedEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var e MergedEntry
+		id, err := buf.ReadUint32()
+		if err != nil {
+			return nil, err
+		}
+		e.MapID = int(id)
+		n, err := buf.ReadUint64()
+		if err != nil {
+			return nil, err
+		}
+		if e.Data, err = buf.ReadBytes(int(n)); err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	if buf.ReadableBytes() != 0 {
+		return nil, fmt.Errorf("shuffle: %d trailing bytes after merged run", buf.ReadableBytes())
+	}
+	return entries, nil
+}

@@ -1,0 +1,113 @@
+package shuffle_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mpi4spark/internal/spark/shuffle"
+)
+
+func TestMergedBlockIDRoundTrip(t *testing.T) {
+	id := shuffle.MergedBlockID(12, 34)
+	s, r, ok := shuffle.ParseMergedBlockID(string(id))
+	if !ok || s != 12 || r != 34 {
+		t.Fatalf("ParseMergedBlockID(%q) = %d, %d, %v", id, s, r, ok)
+	}
+	// Ordinary shuffle block ids must not parse as merged runs, and merged
+	// ids must not share the shuffle_ prefix BlockManager.RemoveShuffle
+	// sweeps (the service evicts runs itself via its merge index).
+	if _, _, ok := shuffle.ParseMergedBlockID("shuffle_1_2_3"); ok {
+		t.Fatal("plain shuffle block id parsed as a merged run")
+	}
+	if _, _, ok := shuffle.ParseMergedBlockID("rdd_4_1"); ok {
+		t.Fatal("rdd block id parsed as a merged run")
+	}
+}
+
+func TestMergedRunRoundTrip(t *testing.T) {
+	entries := []shuffle.MergedEntry{
+		{MapID: 0, Data: []byte("alpha")},
+		{MapID: 2, Data: []byte{}},
+		{MapID: 7, Data: make([]byte, 100<<10)},
+	}
+	for i := range entries[2].Data {
+		entries[2].Data[i] = byte(i * 13)
+	}
+	got, err := shuffle.DecodeMergedRun(shuffle.EncodeMergedRun(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i].MapID != entries[i].MapID {
+			t.Fatalf("entry %d mapID = %d, want %d", i, got[i].MapID, entries[i].MapID)
+		}
+		if !reflect.DeepEqual(normEntryBytes(got[i].Data), normEntryBytes(entries[i].Data)) {
+			t.Fatalf("entry %d data corrupted", i)
+		}
+	}
+}
+
+func TestDecodeMergedRunRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated count":      {0, 0},
+		"hostile count":        {0xff, 0xff, 0xff, 0xff},
+		"truncated entry":      {0, 0, 0, 1, 0, 0, 0, 5},
+		"hostile entry length": {0, 0, 0, 1, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		"trailing bytes":       append(shuffle.EncodeMergedRun([]shuffle.MergedEntry{{MapID: 1, Data: []byte("x")}}), 0xAA),
+	}
+	for name, data := range cases {
+		if _, err := shuffle.DecodeMergedRun(data); err == nil {
+			t.Errorf("%s: decode accepted %x", name, data)
+		}
+	}
+	if entries, err := shuffle.DecodeMergedRun([]byte{0, 0, 0, 0}); err != nil || len(entries) != 0 {
+		t.Fatalf("empty run: got %v, %v", entries, err)
+	}
+}
+
+// FuzzDecodeMergedRun feeds arbitrary bytes through the push-merge run
+// decoder. It must never panic or over-read; any accepted run must survive
+// an encode/decode round trip unchanged — the property the service relies
+// on when it caches an encoded run and reducers decode it remotely.
+func FuzzDecodeMergedRun(f *testing.F) {
+	f.Add(shuffle.EncodeMergedRun(nil))
+	f.Add(shuffle.EncodeMergedRun([]shuffle.MergedEntry{
+		{MapID: 0, Data: []byte("block-a")},
+		{MapID: 3, Data: nil},
+		{MapID: 5, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := shuffle.DecodeMergedRun(data)
+		if err != nil {
+			return
+		}
+		re := shuffle.EncodeMergedRun(entries)
+		again, err := shuffle.DecodeMergedRun(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v (input %x)", err, data)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(again), len(entries))
+		}
+		for i := range entries {
+			if again[i].MapID != entries[i].MapID ||
+				!reflect.DeepEqual(normEntryBytes(again[i].Data), normEntryBytes(entries[i].Data)) {
+				t.Fatalf("round trip changed entry %d", i)
+			}
+		}
+	})
+}
+
+func normEntryBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}

@@ -250,6 +250,16 @@ func (m *Manager) fetchBatch(
 	if abortedNow() {
 		return
 	}
+	// A group served by an external shuffle service is first tried as a
+	// single merged-run fetch — one sequential read replaces the per-map
+	// block batch. A miss (merging disabled, incomplete run, undecodable
+	// frame) falls through to the ordinary per-block path, which the
+	// service also serves.
+	if blocks[0].loc.Service {
+		if m.fetchMergedRun(shuffleID, reduceID, blocks, bts, at, results, observe) {
+			return
+		}
+	}
 	ids := make([]storage.BlockID, len(blocks))
 	for i, b := range blocks {
 		ids[i] = b.blockID
@@ -302,6 +312,68 @@ func (m *Manager) fetchBatch(
 		metrics.GetCounter("shuffle.fetch.bytes_remote").Add(int64(len(data)))
 		results[blk.mapID] = FetchResult{MapID: blk.mapID, Data: data}
 	}
+}
+
+// fetchMergedRun fetches the service-side merged run covering every block
+// of one service group and reports whether it satisfied the group. The
+// decoded entries must cover every requested map id; a partial run fills
+// nothing, so the caller's per-block fallback owns the whole group.
+func (m *Manager) fetchMergedRun(
+	shuffleID, reduceID int,
+	blocks []remoteBlock,
+	bts BlockTransferService,
+	at vtime.Stamp,
+	results []FetchResult,
+	observe func(vtime.Stamp),
+) bool {
+	id := MergedBlockID(shuffleID, reduceID)
+	metrics.GetCounter("shuffle.fetch.requests").Inc()
+	rs, _, err := bts.FetchBatch(blocks[0].loc, []storage.BlockID{id}, m.ChunkBytes, at)
+	if err != nil || len(rs) != 1 {
+		return false
+	}
+	r := rs[0]
+	if r.Err != nil {
+		if r.Release != nil {
+			r.Release()
+		}
+		return false
+	}
+	if m.Retry.FetchDeadline > 0 && r.VT > at.Add(m.Retry.FetchDeadline) {
+		metrics.GetCounter("shuffle.fetch.timeouts").Inc()
+		if r.Release != nil {
+			r.Release()
+		}
+		return false
+	}
+	entries, derr := DecodeMergedRun(r.Data)
+	// DecodeMergedRun copies entry bytes out of the frame, so pooled
+	// backing memory goes back before the results are consumed.
+	if r.Release != nil {
+		r.Release()
+	}
+	if derr != nil {
+		return false
+	}
+	byMap := make(map[int][]byte, len(entries))
+	for _, e := range entries {
+		byMap[e.MapID] = e.Data
+	}
+	for _, blk := range blocks {
+		if _, ok := byMap[blk.mapID]; !ok {
+			return false
+		}
+	}
+	var bytes int64
+	for _, blk := range blocks {
+		data := byMap[blk.mapID]
+		results[blk.mapID] = FetchResult{MapID: blk.mapID, Data: data}
+		bytes += int64(len(data))
+	}
+	observe(r.VT)
+	metrics.GetCounter("shuffle.fetch.bytes_remote").Add(bytes)
+	metrics.GetCounter("shuffle.fetch.merged_runs").Inc()
+	return true
 }
 
 // fetchWithRetry runs one block fetch under the manager's RetryPolicy.

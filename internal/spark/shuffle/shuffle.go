@@ -16,11 +16,15 @@ import (
 	"mpi4spark/internal/vtime"
 )
 
-// Location identifies where a block lives: an executor and its transfer
-// service address.
+// Location identifies where a block lives: an executor (or external
+// shuffle service) and its transfer service address. Service marks a
+// location hosted by a per-node external shuffle service rather than an
+// executor — service-hosted outputs survive executor loss, so
+// UnregisterOutputsOnExecutor never matches them.
 type Location struct {
-	ExecID string
-	Addr   fabric.Addr
+	ExecID  string
+	Addr    fabric.Addr
+	Service bool
 }
 
 // MapStatus records one completed map task's output: where it is and the
@@ -30,11 +34,23 @@ type MapStatus struct {
 	Sizes []int64
 }
 
-// Encode serializes the status.
+// locFlagService marks a service-hosted location in the encoded status.
+const locFlagService byte = 1 << 0
+
+// Encode serializes the status. The flags byte carries Location.Service so
+// service-hosted outputs survive the tracker's hole-tolerant RPC
+// round-trip — without it a reducer-side deserialization would demote a
+// service location to an executor location, and the next executor loss
+// would wrongly forget it.
 func (m *MapStatus) Encode(buf *bytebuf.Buf) {
 	buf.WriteString(m.Loc.ExecID)
 	buf.WriteString(m.Loc.Addr.Node)
 	buf.WriteString(m.Loc.Addr.Port)
+	var flags byte
+	if m.Loc.Service {
+		flags |= locFlagService
+	}
+	buf.WriteByte(flags)
 	buf.WriteUint32(uint32(len(m.Sizes)))
 	for _, s := range m.Sizes {
 		buf.WriteInt64(s)
@@ -54,6 +70,11 @@ func DecodeMapStatus(buf *bytebuf.Buf) (*MapStatus, error) {
 	if m.Loc.Addr.Port, err = buf.ReadString(); err != nil {
 		return nil, err
 	}
+	flags, err := buf.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	m.Loc.Service = flags&locFlagService != 0
 	n, err := buf.ReadUint32()
 	if err != nil {
 		return nil, err

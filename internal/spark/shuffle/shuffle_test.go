@@ -41,6 +41,50 @@ func TestMapStatusRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServiceLocationSurvivesHoles is the regression test for the Service
+// flag in the tracker wire format: a mix of service-hosted outputs,
+// executor-hosted outputs, and holes must round-trip with the flag intact.
+// Losing it would send reducers back to executor fetch semantics, and the
+// supervisor's UnregisterOutputsOnExecutor would start forgetting outputs
+// that actually survived the executor.
+func TestServiceLocationSurvivesHoles(t *testing.T) {
+	tr := NewMapOutputTracker()
+	tr.RegisterShuffle(11, 3)
+	svcLoc := Location{
+		ExecID:  "shuffle-svc-0",
+		Addr:    fabric.Addr{Node: "w0", Port: "shuffle-svc-rpc"},
+		Service: true,
+	}
+	execLoc := Location{ExecID: "exec-1", Addr: fabric.Addr{Node: "w1", Port: "rpc"}}
+	if err := tr.RegisterMapOutput(11, 0, &MapStatus{Loc: svcLoc, Sizes: []int64{5, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Map 1 stays a hole.
+	if err := tr.RegisterMapOutput(11, 2, &MapStatus{Loc: execLoc, Sizes: []int64{0, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.SerializeOutputs(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DeserializeOutputs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[1] != nil {
+		t.Fatalf("round trip = %+v, want 3 statuses with a hole at 1", out)
+	}
+	if out[0].Loc != svcLoc {
+		t.Fatalf("service location corrupted: %+v, want %+v", out[0].Loc, svcLoc)
+	}
+	if !out[0].Loc.Service {
+		t.Fatal("Service flag lost across serialization")
+	}
+	if out[2].Loc != execLoc || out[2].Loc.Service {
+		t.Fatalf("executor location corrupted: %+v", out[2].Loc)
+	}
+}
+
 func TestTrackerErrors(t *testing.T) {
 	tr := NewMapOutputTracker()
 	if err := tr.RegisterMapOutput(9, 0, &MapStatus{}); err == nil {

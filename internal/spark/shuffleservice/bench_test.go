@@ -1,0 +1,32 @@
+package shuffleservice_test
+
+import (
+	"testing"
+
+	"mpi4spark/internal/spark/shuffle"
+)
+
+// BenchmarkShuffleServiceFetch measures the merged-run fetch path: one
+// reducer pulling a 16-block reduce partition from two services over
+// sockets, end to end through the batched/chunked transfer machinery.
+func BenchmarkShuffleServiceFetch(b *testing.B) {
+	cl := newSvcCluster(b, "nio", 2)
+	reducer := cl.peers[0]
+	const shuffleID, nMaps, size = 1, 16, 8 << 10
+	statuses := make([]*shuffle.MapStatus, nMaps)
+	for m := 0; m < nMaps; m++ {
+		p := cl.peers[m%len(cl.peers)]
+		statuses[m] = pushMapOutput(b, p, shuffleID, m, [][]byte{svcBlock(m, 0, size)})
+	}
+	b.SetBytes(int64(nMaps * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, _, err := reducer.sm.FetchShuffleParts(shuffleID, 0, statuses, reducer.id, reducer.bts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != nMaps {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}

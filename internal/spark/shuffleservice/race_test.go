@@ -1,0 +1,89 @@
+package shuffleservice_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/spark/shuffle"
+	"mpi4spark/internal/spark/shuffleservice"
+)
+
+// TestServiceConcurrentPushers drives many goroutines pushing distinct map
+// outputs — with deliberate duplicate re-pushes — into one service while
+// another goroutine concurrently resolves the merged run, exercising the
+// push/merge locking under the race detector. The final run must hold
+// every block exactly once, in map order, and pushed_bytes must count each
+// unique block once.
+func TestServiceConcurrentPushers(t *testing.T) {
+	svc := shuffleservice.New("svc-race", nil)
+	const (
+		shuffleID = 3
+		reduceID  = 0
+		pushers   = 8
+		perPusher = 25
+		blockLen  = 64
+	)
+	before := metrics.Snapshot()
+
+	var wg sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perPusher; i++ {
+				mapID := g*perPusher + i
+				block := svcBlock(mapID, reduceID, blockLen)
+				for attempt := 0; attempt < 2; attempt++ { // second push is a duplicate
+					if _, err := svc.Push(shuffleID, mapID, reduceID, block, 0); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Interleave merges with the pushes: every resolve must return a
+	// well-formed run containing whatever has landed so far.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			run, ok := svc.Resolve(string(shuffle.MergedBlockID(shuffleID, reduceID)))
+			if !ok {
+				continue
+			}
+			if _, err := shuffle.DecodeMergedRun(run); err != nil {
+				t.Errorf("mid-push merged run corrupt: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	run, ok := svc.Resolve(string(shuffle.MergedBlockID(shuffleID, reduceID)))
+	if !ok {
+		t.Fatal("no merged run after pushes")
+	}
+	entries, err := shuffle.DecodeMergedRun(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const unique = pushers * perPusher
+	if len(entries) != unique {
+		t.Fatalf("merged run has %d entries, want %d", len(entries), unique)
+	}
+	for i, e := range entries {
+		if e.MapID != i {
+			t.Fatalf("entry %d has mapID %d, want %d (runs must be map-sorted)", i, e.MapID, i)
+		}
+		if !bytes.Equal(e.Data, svcBlock(i, reduceID, blockLen)) {
+			t.Fatalf("entry %d corrupted", i)
+		}
+	}
+	if d := before.DeltaValue(shuffleservice.CounterPushedBytes); d != int64(unique*blockLen) {
+		t.Fatalf("pushed_bytes delta = %d, want %d (duplicates must not count)", d, unique*blockLen)
+	}
+}

@@ -1,0 +1,252 @@
+// Package shuffleservice implements a per-worker external shuffle service
+// with Magnet-style push-based merge: map tasks push committed blocks to
+// their node-local service, the service merges pushed blocks per reduce
+// partition into locality-sorted runs, and reducers fetch from the service
+// instead of the executor. Because the service is its own RPC endpoint —
+// not part of any executor process — map outputs survive executor loss and
+// the scheduler never needs to resubmit a completed map stage.
+package shuffleservice
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/obs"
+	"mpi4spark/internal/spark/rpc"
+	"mpi4spark/internal/spark/shuffle"
+	"mpi4spark/internal/spark/storage"
+	"mpi4spark/internal/vtime"
+)
+
+// Metric names. In a clean run with merging enabled the three reconcile
+// exactly: every accepted pushed byte is merged once and served once.
+const (
+	// CounterPushedBytes counts payload bytes of accepted (non-duplicate)
+	// pushes.
+	CounterPushedBytes = "shuffle.service.pushed_bytes"
+	// CounterMergedBytes counts payload bytes folded into merged runs
+	// (re-merges after late pushes count only the newly added bytes).
+	CounterMergedBytes = "shuffle.service.merged_bytes"
+	// CounterServedBytes counts payload bytes served to reducers, whether
+	// as merged runs or per-block fallback fetches.
+	CounterServedBytes = "shuffle.service.served_bytes"
+)
+
+// Push ack payloads.
+const (
+	// AckPushed acknowledges a block the service accepted and stored.
+	AckPushed = "ok"
+	// AckDuplicate acknowledges an idempotent re-push of a block the
+	// service already holds (a map task retried after its first push
+	// landed); the block is not re-counted.
+	AckDuplicate = "dup"
+)
+
+type mergeKey struct {
+	shuffle int
+	reduce  int
+}
+
+// mergeState accumulates one reduce partition's pushed blocks and caches
+// the encoded merged run.
+type mergeState struct {
+	entries map[int][]byte // mapID -> block bytes
+	run     []byte         // cached encoded run; nil until first merge
+	payload int            // payload bytes inside run
+	counted int            // payload bytes already counted as merged
+	dirty   bool           // a push landed since run was built
+}
+
+// Service is one worker node's external shuffle service: a block store fed
+// by pushes, a per-reduce-partition merger, and a resolver that serves
+// both merged runs and individual pushed blocks over the node's transfer
+// endpoints.
+type Service struct {
+	id  string
+	env *rpc.Env
+	bm  *storage.BlockManager
+
+	mergeEnabled atomic.Bool
+	bus          atomic.Pointer[obs.Bus]
+
+	mu     sync.Mutex
+	merges map[mergeKey]*mergeState
+}
+
+// New creates a service named id and registers it on env as the push
+// handler and chunk resolver — the same endpoint surface an executor's
+// BlockTransferService uses, so every transport that can fetch from an
+// executor can fetch from the service. env may be nil for in-process use
+// (tests, UCR-only serving); Attach can wire an environment later.
+func New(id string, env *rpc.Env) *Service {
+	s := &Service{
+		id:     id,
+		env:    env,
+		bm:     storage.NewBlockManager(id),
+		merges: make(map[mergeKey]*mergeState),
+	}
+	s.mergeEnabled.Store(true)
+	if env != nil {
+		s.Attach(env)
+	}
+	return s
+}
+
+// Attach registers the service's push handler and block resolver on env.
+func (s *Service) Attach(env *rpc.Env) {
+	s.env = env
+	env.RegisterPushHandler(s.HandlePush)
+	env.RegisterChunkResolver(s.Resolve)
+}
+
+// ID returns the service's identity (the ExecID of its locations).
+func (s *Service) ID() string { return s.id }
+
+// Addr returns the service endpoint's address.
+func (s *Service) Addr() fabric.Addr { return s.env.Addr() }
+
+// Location returns the shuffle location reducers fetch from. Service is
+// set so the tracker never forgets these outputs on executor loss.
+func (s *Service) Location() shuffle.Location {
+	return shuffle.Location{ExecID: s.id, Addr: s.env.Addr(), Service: true}
+}
+
+// BlockManager exposes the service's block store (diagnostics and tests).
+func (s *Service) BlockManager() *storage.BlockManager { return s.bm }
+
+// SetBus wires the observability bus the service emits push/merge/serve
+// events on. Nil-safe (a nil bus drops everything).
+func (s *Service) SetBus(b *obs.Bus) { s.bus.Store(b) }
+
+// SetMergeEnabled toggles push-merge. With merging off the service still
+// accepts pushes and serves individual blocks, but merged-run fetches
+// miss, exercising the manager's per-block fallback path.
+func (s *Service) SetMergeEnabled(on bool) { s.mergeEnabled.Store(on) }
+
+// HandlePush adapts Push to the rpc.Env push-handler signature.
+func (s *Service) HandlePush(m *rpc.PushBlockRequest, vt vtime.Stamp) ([]byte, error) {
+	return s.Push(m.ShuffleID, m.MapID, m.ReduceID, m.Body, vt)
+}
+
+// Push ingests one committed map-output block. Re-pushing a block the
+// service already holds is idempotent: it acks AckDuplicate and counts
+// nothing, so a map-task retry cannot double-merge its output.
+func (s *Service) Push(shuffleID, mapID, reduceID int, body []byte, vt vtime.Stamp) ([]byte, error) {
+	id := storage.ShuffleBlockID(shuffleID, mapID, reduceID)
+	key := mergeKey{shuffle: shuffleID, reduce: reduceID}
+	s.mu.Lock()
+	if _, dup := s.bm.Get(id); dup {
+		s.mu.Unlock()
+		return []byte(AckDuplicate), nil
+	}
+	s.bm.Put(id, body)
+	ms := s.merges[key]
+	if ms == nil {
+		ms = &mergeState{entries: make(map[int][]byte)}
+		s.merges[key] = ms
+	}
+	ms.entries[mapID] = body
+	ms.dirty = true
+	s.mu.Unlock()
+	metrics.GetCounter(CounterPushedBytes).Add(int64(len(body)))
+	s.bus.Load().Emit(obs.Event{
+		Type: obs.EvShufflePush, VT: vt,
+		ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID,
+		Bytes: len(body), Executor: s.id,
+	})
+	return []byte(AckPushed), nil
+}
+
+// Resolve is the service's block resolver: merged-run ids materialize (or
+// return the cached) locality-sorted run; anything else is looked up in
+// the pushed-block store. Every hit counts payload bytes served.
+func (s *Service) Resolve(blockID string) ([]byte, bool) {
+	if shuffleID, reduceID, ok := shuffle.ParseMergedBlockID(blockID); ok {
+		if !s.mergeEnabled.Load() {
+			return nil, false
+		}
+		run, payload, ok := s.mergedRun(shuffleID, reduceID)
+		if !ok {
+			return nil, false
+		}
+		metrics.GetCounter(CounterServedBytes).Add(int64(payload))
+		s.bus.Load().Emit(obs.Event{
+			Type:      obs.EvShuffleServe,
+			ShuffleID: shuffleID, ReduceID: reduceID,
+			Bytes: payload, Executor: s.id,
+		})
+		return run, true
+	}
+	data, ok := s.bm.Get(storage.BlockID(blockID))
+	if !ok {
+		return nil, false
+	}
+	ev := obs.Event{Type: obs.EvShuffleServe, Bytes: len(data), Executor: s.id}
+	fmt.Sscanf(blockID, "shuffle_%d_%d_%d", &ev.ShuffleID, &ev.MapID, &ev.ReduceID)
+	metrics.GetCounter(CounterServedBytes).Add(int64(len(data)))
+	s.bus.Load().Emit(ev)
+	return data, true
+}
+
+// mergedRun returns the encoded merged run for one reduce partition,
+// (re)building it if pushes landed since the last build. The returned
+// payload is the sum of entry bytes inside the run (frame overhead
+// excluded), which is what the serve counter accounts.
+func (s *Service) mergedRun(shuffleID, reduceID int) (run []byte, payload int, ok bool) {
+	key := mergeKey{shuffle: shuffleID, reduce: reduceID}
+	s.mu.Lock()
+	ms := s.merges[key]
+	if ms == nil || len(ms.entries) == 0 {
+		s.mu.Unlock()
+		return nil, 0, false
+	}
+	var delta int
+	if ms.dirty || ms.run == nil {
+		mapIDs := make([]int, 0, len(ms.entries))
+		for id := range ms.entries {
+			mapIDs = append(mapIDs, id)
+		}
+		sort.Ints(mapIDs)
+		entries := make([]shuffle.MergedEntry, len(mapIDs))
+		total := 0
+		for i, id := range mapIDs {
+			entries[i] = shuffle.MergedEntry{MapID: id, Data: ms.entries[id]}
+			total += len(ms.entries[id])
+		}
+		ms.run = shuffle.EncodeMergedRun(entries)
+		ms.payload = total
+		// Re-merges after late pushes count only newly folded bytes, so
+		// merged_bytes reconciles with pushed_bytes instead of multiplying.
+		delta = total - ms.counted
+		ms.counted = total
+		ms.dirty = false
+	}
+	run, payload = ms.run, ms.payload
+	s.mu.Unlock()
+	if delta > 0 {
+		metrics.GetCounter(CounterMergedBytes).Add(int64(delta))
+		s.bus.Load().Emit(obs.Event{
+			Type:      obs.EvShuffleMerge,
+			ShuffleID: shuffleID, ReduceID: reduceID,
+			Bytes: delta, Executor: s.id,
+		})
+	}
+	return run, payload, true
+}
+
+// RemoveShuffle evicts a completed shuffle's pushed blocks and merged runs.
+func (s *Service) RemoveShuffle(shuffleID int) {
+	s.mu.Lock()
+	for key := range s.merges {
+		if key.shuffle == shuffleID {
+			s.bm.Remove(shuffle.MergedBlockID(key.shuffle, key.reduce))
+			delete(s.merges, key)
+		}
+	}
+	s.mu.Unlock()
+	s.bm.RemoveShuffle(shuffleID)
+}
