@@ -55,6 +55,11 @@ func main() {
 		t.AddRow("shuffle bytes local", local)
 		t.AddRow("shuffle bytes remote", remote)
 		t.AddRow("collective ops", report.Collective)
+		t.AddRow("adapted stages", report.AdaptedStages)
+		t.AddRow("partitions split", report.Splits)
+		t.AddRow("coalesce groups", report.Coalesces)
+		t.AddRow("speculative attempts", report.Speculated)
+		t.AddRow("speculative wins", report.SpecWon)
 		t.AddRow("executors lost", report.Lost)
 		t.AddRow("executors replaced", report.Replaced)
 		t.AddRow("fetch failures", report.FetchFails)

@@ -69,11 +69,14 @@ type EnvState struct {
 	mu    sync.Mutex
 	chans []*mpiChannel
 
-	// pollClock serializes the Basic design's message reception: a single
+	// pollEngine serializes the Basic design's message reception: a single
 	// selector thread runs the non-blocking select + Iprobe loop, so every
-	// inbound frame pays the poll handling cost on one clock — the paper's
-	// CPU-starvation bottleneck, seen from the network side.
-	pollClock vtime.Clock
+	// inbound frame pays the poll handling cost on one shared occupancy —
+	// the paper's CPU-starvation bottleneck, seen from the network side.
+	// It is a work-conserving Resource rather than a monotone clock so a
+	// late-stamped frame polled early (real scheduler order, not virtual
+	// order) cannot drag every later delivery past its own virtual time.
+	pollEngine vtime.Resource
 
 	// PollRecvCost is the per-frame cost charged on the polling selector
 	// (Iprobe scans across channels plus the blocking receive).
@@ -177,7 +180,7 @@ func (st *EnvState) Poll() bool {
 			}
 			data, status := r.h.Recv(r.rank, recvTag, 0)
 			did = true
-			vt := st.pollClock.ObserveAndAdvance(status.VT, st.PollRecvCost)
+			_, vt := st.pollEngine.Occupy(status.VT, st.PollRecvCost)
 			mc.ch.Pipeline().FireChannelRead(bytebuf.Wrap(data), vt)
 		}
 	}

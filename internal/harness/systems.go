@@ -112,6 +112,17 @@ type ClusterSpec struct {
 	// (spark.Config.ExternalShuffleService): map outputs are pushed to and
 	// served from a node-local service endpoint that survives executor loss.
 	ShuffleService bool
+	// Adaptive enables skew-aware reduce planning
+	// (spark.Config.AdaptiveExecution); the threshold/target knobs keep
+	// the spark defaults when zero.
+	Adaptive              bool
+	AdaptiveSkewThreshold float64
+	AdaptiveTargetBytes   int64
+	// Speculation enables straggler re-launch
+	// (spark.Config.Speculation); the multiplier keeps the spark default
+	// when zero.
+	Speculation           bool
+	SpeculationMultiplier float64
 }
 
 // BuildCluster constructs the cluster: standalone deploy for Vanilla and
@@ -151,6 +162,11 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 	sparkCfg.DefaultParallelism = spec.Workers * slots
 	sparkCfg.EventLogPath = spec.EventLogPath
 	sparkCfg.ExternalShuffleService = spec.ShuffleService
+	sparkCfg.AdaptiveExecution = spec.Adaptive
+	sparkCfg.AdaptiveSkewThreshold = spec.AdaptiveSkewThreshold
+	sparkCfg.AdaptiveTargetBytes = spec.AdaptiveTargetBytes
+	sparkCfg.Speculation = spec.Speculation
+	sparkCfg.SpeculationMultiplier = spec.SpeculationMultiplier
 	if spec.Supervise {
 		sparkCfg.HeartbeatInterval = spark.DefaultHeartbeatInterval
 		sparkCfg.ExecutorTimeout = spark.DefaultExecutorTimeout

@@ -20,10 +20,40 @@ type TaskSummary struct {
 	BytesLocal  int64
 	BytesRemote int64
 	Err         string
+
+	// Adaptive execution: a split sub-task reads only map outputs
+	// [MapLo, MapHi) of its partition; Coalesced > 0 marks a task running
+	// that many runt partitions; Speculative marks a straggler re-launch.
+	MapLo       int
+	MapHi       int
+	Coalesced   int
+	Speculative bool
 }
 
 // Duration is the task's virtual running time.
 func (t TaskSummary) Duration() vtime.Stamp { return t.End - t.Start }
+
+// Ranged reports whether the attempt is a map-range sub-task of a split
+// reduce partition.
+func (t TaskSummary) Ranged() bool { return t.MapHi > t.MapLo }
+
+// Label renders the attempt for timeline and critical-path displays:
+// "p3.0", with the map range for split sub-tasks ("p0.0[4,8)"), "+N" for
+// a task covering N coalesced partitions, and a "spec" suffix for
+// speculative attempts.
+func (t TaskSummary) Label() string {
+	l := fmt.Sprintf("p%d.%d", t.Partition, t.Attempt)
+	if t.Ranged() {
+		l += fmt.Sprintf("[%d,%d)", t.MapLo, t.MapHi)
+	}
+	if t.Coalesced > 1 {
+		l += fmt.Sprintf("+%d", t.Coalesced-1)
+	}
+	if t.Speculative {
+		l += " spec"
+	}
+	return l
+}
 
 // Compute is the task's virtual time not spent blocked on shuffle fetch.
 func (t TaskSummary) Compute() vtime.Stamp {
@@ -51,6 +81,13 @@ type StageSummary struct {
 	BytesLocal  int64
 	BytesRemote int64
 	Retries     int // task attempts beyond the first
+
+	// Adaptive execution (from the stage's StageAdapted event).
+	Splits    int // reduce partitions split into map-range sub-tasks
+	Coalesces int // groups of runt partitions merged into one task
+	// Speculation (from TaskSpeculated events).
+	Speculated int // speculative attempts launched
+	SpecWon    int // speculative attempts that beat the original
 }
 
 // Duration is the stage's virtual wall time, submission to completion.
@@ -66,6 +103,28 @@ func (s *StageSummary) SlowestTask() TaskSummary {
 		}
 	}
 	return slowest
+}
+
+// TaskTimes returns the p50 and max duration over successful attempts and
+// their ratio (max/p50) — the per-stage skew figure the adaptive planner
+// targets. A stage with no successful tasks reports zeros.
+func (s *StageSummary) TaskTimes() (p50, max vtime.Stamp, skew float64) {
+	var durs []vtime.Stamp
+	for _, t := range s.Tasks {
+		if t.Err == "" {
+			durs = append(durs, t.Duration())
+		}
+	}
+	if len(durs) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+	p50 = durs[len(durs)/2]
+	max = durs[len(durs)-1]
+	if p50 > 0 {
+		skew = float64(max) / float64(p50)
+	}
+	return p50, max, skew
 }
 
 // JobSummary aggregates one job and its stages in submission order.
@@ -89,6 +148,16 @@ type Report struct {
 	Replaced   int // ExecutorReplaced events
 	FetchFails int // FetchFailed events
 	Collective int // CollectiveOp events
+
+	// Adaptive execution and speculation. The split/coalesce totals must
+	// match the scheduler.adaptive.{splits,coalesces} counter deltas, the
+	// speculation totals the scheduler.speculation.{launched,won,lost}
+	// deltas, for the run.
+	AdaptedStages int // StageAdapted events
+	Splits        int // partitions split, summed over StageAdapted
+	Coalesces     int // coalesce groups, summed over StageAdapted
+	Speculated    int // TaskSpeculated events
+	SpecWon       int // TaskSpeculated events with Won set
 
 	// External shuffle service activity (zero when the service is off).
 	// Byte totals must match the shuffle.service.{pushed,merged,served}_bytes
@@ -162,7 +231,9 @@ func Analyze(events []Event) *Report {
 				Partition: e.Partition, Attempt: e.Attempt, Executor: e.Executor,
 				Start: e.Start, End: e.VT, FetchWait: e.FetchWait,
 				Records: e.Records, BytesLocal: e.BytesLocal, BytesRemote: e.BytesRemote,
-				Err: e.Err,
+				Err:   e.Err,
+				MapLo: e.MapLo, MapHi: e.MapHi, Coalesced: e.Coalesced,
+				Speculative: e.Speculative,
 			}
 			s.Tasks = append(s.Tasks, t)
 			if e.Attempt > 0 {
@@ -174,6 +245,25 @@ func Analyze(events []Event) *Report {
 				s.Records += t.Records
 				s.BytesLocal += t.BytesLocal
 				s.BytesRemote += t.BytesRemote
+			}
+		case EvStageAdapted:
+			r.AdaptedStages++
+			r.Splits += e.Splits
+			r.Coalesces += e.Coalesces
+			if s := stages[e.Stage]; s != nil {
+				s.Splits += e.Splits
+				s.Coalesces += e.Coalesces
+			}
+		case EvTaskSpeculated:
+			r.Speculated++
+			if e.Won {
+				r.SpecWon++
+			}
+			if s := stages[e.Stage]; s != nil {
+				s.Speculated++
+				if e.Won {
+					s.SpecWon++
+				}
 			}
 		case EvExecutorLost:
 			r.Lost++
@@ -210,17 +300,35 @@ func Analyze(events []Event) *Report {
 }
 
 // TimelineTable renders the stage timeline: each stage's submission and
-// completion in virtual time, its width, and how many attempts ran.
+// completion in virtual time, its width, how many attempts ran, the
+// task-time p50/max skew, and any adaptive re-planning or speculation.
 func (r *Report) TimelineTable() *metrics.Table {
 	t := &metrics.Table{
 		Title:   "Stage timeline (virtual time)",
-		Columns: []string{"Job", "Stage", "Kind", "Name", "Submitted", "Completed", "Duration", "Tasks", "Attempts"},
+		Columns: []string{"Job", "Stage", "Kind", "Name", "Submitted", "Completed", "Duration", "Tasks", "Attempts", "TaskP50", "TaskMax", "Skew", "Adapted"},
 	}
 	for _, j := range r.Jobs {
 		for _, s := range j.Stages {
+			p50, max, skew := s.TaskTimes()
+			adapted := ""
+			if s.Splits > 0 || s.Coalesces > 0 {
+				adapted = fmt.Sprintf("%d split / %d coalesced", s.Splits, s.Coalesces)
+			}
+			if s.Speculated > 0 {
+				if adapted != "" {
+					adapted += ", "
+				}
+				adapted += fmt.Sprintf("%d spec (%d won)", s.Speculated, s.SpecWon)
+			}
 			t.AddRow(j.Job, s.Stage, s.Kind, s.Name,
-				s.Submitted, s.Completed, s.Duration(), s.Width, len(s.Tasks))
+				s.Submitted, s.Completed, s.Duration(), s.Width, len(s.Tasks),
+				p50, max, fmt.Sprintf("%.2f", skew), adapted)
 		}
+	}
+	if r.AdaptedStages+r.Speculated > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"adaptive: %d stages re-planned (%d partitions split, %d coalesce groups); speculation: %d attempts, %d won",
+			r.AdaptedStages, r.Splits, r.Coalesces, r.Speculated, r.SpecWon))
 	}
 	if r.Lost+r.Replaced+r.FetchFails > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf(
@@ -274,7 +382,7 @@ func (r *Report) CriticalPathTable() *metrics.Table {
 				pct = 100 * float64(slow.FetchWait) / float64(slow.Duration())
 			}
 			t.AddRow(j.Job, j.Duration(), s.Stage,
-				fmt.Sprintf("p%d.%d", slow.Partition, slow.Attempt), slow.Executor,
+				slow.Label(), slow.Executor,
 				slow.Duration(), slow.FetchWait, fmt.Sprintf("%.1f", pct))
 		}
 	}

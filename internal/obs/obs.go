@@ -37,6 +37,8 @@ const (
 	EvShufflePush      = "ShufflePush"
 	EvShuffleMerge     = "ShuffleMerge"
 	EvShuffleServe     = "ShuffleServe"
+	EvStageAdapted     = "StageAdapted"
+	EvTaskSpeculated   = "TaskSpeculated"
 )
 
 // Event is one structured lifecycle record. The zero values of the ID
@@ -83,6 +85,23 @@ type Event struct {
 
 	// Replacement executor ID (ExecutorReplaced).
 	Replacement string `json:"replacement,omitempty"`
+
+	// Adaptive execution. StageAdapted (Splits/Coalesces summarize the
+	// plan rewrite; Tasks carries the physical width) and ranged sub-task
+	// identity on TaskStart/TaskEnd/ShuffleServe: a split sub-task reads
+	// map ids [MapLo, MapHi) of its partition. Coalesced marks a task
+	// covering that many original partitions.
+	Splits    int `json:"splits,omitempty"`
+	Coalesces int `json:"coalesces,omitempty"`
+	MapLo     int `json:"mapLo,omitempty"`
+	MapHi     int `json:"mapHi,omitempty"`
+	Coalesced int `json:"coalesced,omitempty"`
+
+	// Speculation (TaskSpeculated marks the extra attempt's launch;
+	// TaskEnd carries Speculative for the attempt itself and Won on the
+	// attempt whose result was committed when a speculative race ran).
+	Speculative bool `json:"speculative,omitempty"`
+	Won         bool `json:"won,omitempty"`
 }
 
 // Listener receives every event posted to a Bus. Listeners are invoked

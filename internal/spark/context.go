@@ -89,6 +89,34 @@ type Config struct {
 	// failures) as JSONL at this path, replayable with obs.ReadLog or
 	// cmd/eventlog — the Spark event-log/History Server model.
 	EventLogPath string
+	// AdaptiveExecution enables skew-aware reduce planning (the
+	// spark.sql.adaptive model applied to the RDD scheduler): at result-
+	// stage submit time the scheduler consults the map-output tracker's
+	// per-reducer byte sizes, splits oversized partitions into map-range
+	// sub-tasks merged after the fact, and coalesces runt partitions into
+	// shared tasks.
+	AdaptiveExecution bool
+	// AdaptiveSkewThreshold is the skew trigger: a reduce partition is
+	// split when its bytes exceed this multiple of the stage's median
+	// partition size (and exceed 2*AdaptiveTargetBytes, so each sub-task
+	// still gets at least a target's worth). Default 2.0.
+	AdaptiveSkewThreshold float64
+	// AdaptiveTargetBytes is the per-task byte target adaptive planning
+	// aims for: split sub-tasks are cut to roughly this size, and
+	// consecutive partitions below it are coalesced into one task until
+	// their sum would pass it. Default 256 KiB.
+	AdaptiveTargetBytes int64
+	// Speculation enables speculative re-launch of stragglers
+	// (spark.speculation): after a stage's attempts complete, any task
+	// whose running time exceeded SpeculationMultiplier times the stage
+	// median gets a second attempt on a different executor, and the
+	// attempt finishing first in virtual time wins. Deterministic because
+	// the race is decided on the virtual clock.
+	Speculation bool
+	// SpeculationMultiplier is the straggler threshold relative to the
+	// stage's median task duration (spark.speculation.multiplier).
+	// Default 1.5.
+	SpeculationMultiplier float64
 }
 
 // Default supervision knobs, used by harness.BuildCluster and the examples
@@ -98,6 +126,13 @@ type Config struct {
 const (
 	DefaultHeartbeatInterval = 10 * time.Millisecond
 	DefaultExecutorTimeout   = 60 * time.Millisecond
+)
+
+// Adaptive-execution and speculation defaults (see the Config fields).
+const (
+	DefaultAdaptiveSkewThreshold = 2.0
+	DefaultAdaptiveTargetBytes   = 256 << 10
+	DefaultSpeculationMultiplier = 1.5
 )
 
 // DefaultConfig returns a reasonable configuration.
@@ -137,6 +172,7 @@ type completion struct {
 	mapStatus *shuffle.MapStatus
 	cached    []cacheKey
 	err       error
+	startVT   vtime.Stamp // when the task began running on its slot
 	execVT    vtime.Stamp
 	driverVT  vtime.Stamp
 	metrics   taskMetrics
@@ -150,6 +186,16 @@ type taskDescriptor struct {
 	run        func(tc *TaskContext) (any, *shuffle.MapStatus, error)
 	resultSize func(any) int
 	preferred  string // preferred executor id ("" = any)
+	// Adaptive-execution identity. A ranged (split) sub-task computes only
+	// map ids [mapLo, mapHi) of shuffle rangedShuffle for its partition; a
+	// coalesced task covers `coalesced` consecutive original partitions
+	// starting at part; a speculative task is the scheduler's straggler
+	// re-launch racing the original attempt.
+	ranged        bool
+	mapLo, mapHi  int
+	rangedShuffle int
+	coalesced     int
+	speculative   bool
 	// attempt is the retry count, stored by the scheduler before each
 	// relaunch and read by the executor when stamping task events. Atomic
 	// because a dead executor's goroutine may still read it while the
@@ -269,6 +315,15 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 	}
 	if cfg.CollectiveSmallLimit <= 0 {
 		cfg.CollectiveSmallLimit = collective.DefaultSmallLimit
+	}
+	if cfg.AdaptiveSkewThreshold <= 1 {
+		cfg.AdaptiveSkewThreshold = DefaultAdaptiveSkewThreshold
+	}
+	if cfg.AdaptiveTargetBytes <= 0 {
+		cfg.AdaptiveTargetBytes = DefaultAdaptiveTargetBytes
+	}
+	if cfg.SpeculationMultiplier <= 1 {
+		cfg.SpeculationMultiplier = DefaultSpeculationMultiplier
 	}
 	if len(executors) == 0 {
 		return nil, fmt.Errorf("spark: context needs at least one executor")

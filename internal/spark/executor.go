@@ -284,6 +284,8 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 		Type: obs.EvTaskStart, VT: start, Job: desc.stage.jobID,
 		Stage: desc.stage.id, Partition: desc.part, Attempt: attempt,
 		Executor: e.id,
+		MapLo:    desc.mapLo, MapHi: desc.mapHi, Coalesced: desc.coalesced,
+		Speculative: desc.speculative,
 	})
 	tc := &TaskContext{
 		StageID:   desc.stage.id,
@@ -291,6 +293,11 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 		exec:      e,
 		vt:        start,
 		cpu:       e.cpu,
+
+		ranged:        desc.ranged,
+		mapLo:         desc.mapLo,
+		mapHi:         desc.mapHi,
+		rangedShuffle: desc.rangedShuffle,
 	}
 	result, mapStatus, err := desc.run(tc)
 	s.clock.Observe(tc.vt)
@@ -312,6 +319,8 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 		Executor: e.id, Start: start,
 		Records: tc.recordsRead, BytesLocal: tc.bytesLocal,
 		BytesRemote: tc.bytesRemote, FetchWait: tc.shuffleWaitDur,
+		MapLo: desc.mapLo, MapHi: desc.mapHi, Coalesced: desc.coalesced,
+		Speculative: desc.speculative,
 	}
 	if err != nil {
 		end.Err = err.Error()
@@ -326,6 +335,7 @@ func (e *Executor) runTask(desc *taskDescriptor, launchVT vtime.Stamp) {
 		mapStatus: mapStatus,
 		cached:    tc.newlyCached,
 		err:       err,
+		startVT:   start,
 		execVT:    tc.vt,
 		metrics: taskMetrics{
 			Records:       tc.recordsRead,

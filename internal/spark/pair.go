@@ -93,7 +93,7 @@ func GroupByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V]
 		conf.Parts = in.nParts
 	}
 	dep := newShuffleStage(in, conf, HashPartitioner[K]{N: conf.Parts, Ops: conf.Ops}, nil)
-	return newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, []V], error) {
+	out := newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, []V], error) {
 		pairs, err := fetchDecode(conf, dep, part, tc)
 		if err != nil {
 			return nil, err
@@ -109,6 +109,28 @@ func GroupByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V]
 		}
 		return out, nil
 	})
+	// Split sub-tasks each group their map-range slice; concatenating the
+	// per-key value lists in map-range order rebuilds the full groups with
+	// values in the same per-map order an unsplit task would see.
+	out.partialMerge = func(tc *TaskContext, parts [][]Pair[K, []V]) []Pair[K, []V] {
+		idx := make(map[K]int)
+		var merged []Pair[K, []V]
+		n := 0
+		for _, sub := range parts {
+			n += len(sub)
+			for _, pr := range sub {
+				if i, ok := idx[pr.K]; ok {
+					merged[i].V = append(merged[i].V, pr.V...)
+				} else {
+					idx[pr.K] = len(merged)
+					merged = append(merged, pr)
+				}
+			}
+		}
+		tc.ChargeRecords(n, 0)
+		return merged
+	}
+	return out
 }
 
 // ReduceByKey merges values per key with f, combining map-side first (the
@@ -137,7 +159,7 @@ func ReduceByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V
 		return out
 	}
 	dep := newShuffleStage(in, conf, HashPartitioner[K]{N: conf.Parts, Ops: conf.Ops}, combine)
-	return newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
+	out := newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
 		pairs, err := fetchDecode(conf, dep, part, tc)
 		if err != nil {
 			return nil, err
@@ -157,6 +179,27 @@ func ReduceByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V
 		}
 		return out, nil
 	})
+	// f is associative, so reducing the sub-tasks' per-key partials in
+	// map-range order equals reducing the full partition.
+	out.partialMerge = func(tc *TaskContext, parts [][]Pair[K, V]) []Pair[K, V] {
+		idx := make(map[K]int)
+		var merged []Pair[K, V]
+		n := 0
+		for _, sub := range parts {
+			n += len(sub)
+			for _, pr := range sub {
+				if i, ok := idx[pr.K]; ok {
+					merged[i].V = f(merged[i].V, pr.V)
+				} else {
+					idx[pr.K] = len(merged)
+					merged = append(merged, pr)
+				}
+			}
+		}
+		tc.ChargeRecords(n, 0)
+		return merged
+	}
+	return out
 }
 
 // SortByKey returns an RDD whose partitions are globally ordered: a range
@@ -168,8 +211,11 @@ func SortByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V],
 		conf.Parts = in.nParts
 	}
 	p := NewRangePartitioner(sample, conf.Parts, conf.Ops)
+	// The partitioner dedupes equal bounds from degenerate samples, so the
+	// RDD's width must come from it, not conf.Parts — a wider RDD would
+	// index past the tracker's per-reduce size arrays.
 	dep := newShuffleStage(in, conf, p, nil)
-	return newRDD(in.ctx, conf.Parts, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
+	out := newRDD(in.ctx, p.NumPartitions(), []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
 		pairs, err := fetchDecode(conf, dep, part, tc)
 		if err != nil {
 			return nil, err
@@ -178,6 +224,19 @@ func SortByKey[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V],
 		tc.ChargeSort(len(pairs))
 		return pairs, nil
 	})
+	// Sub-tasks sort their map-range slices; re-sorting the concatenation
+	// restores the partition's global order (equal-key order is
+	// unspecified either way — sort.Slice is unstable).
+	out.partialMerge = func(tc *TaskContext, parts [][]Pair[K, V]) []Pair[K, V] {
+		var merged []Pair[K, V]
+		for _, sub := range parts {
+			merged = append(merged, sub...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return conf.Ops.Less(merged[i].K, merged[j].K) })
+		tc.ChargeSort(len(merged))
+		return merged
+	}
+	return out
 }
 
 // SampleKeys runs a lightweight job collecting roughly `per` keys per
@@ -217,13 +276,28 @@ func Repartition[K comparable, V any](in *RDD[Pair[K, V]], conf ShuffleConf[K, V
 	// key hash, salted per map partition by Spark; plain hash partitioning
 	// gives the same all-to-all traffic pattern.
 	dep := newShuffleStage(in, conf, HashPartitioner[K]{N: n, Ops: conf.Ops}, nil)
-	return newRDD(in.ctx, n, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
+	out := newRDD(in.ctx, n, []Dependency{dep}, func(part int, tc *TaskContext) ([]Pair[K, V], error) {
 		return fetchDecode(conf, dep, part, tc)
 	})
+	// Concatenating map-range slices in map order is exactly the block
+	// order an unsplit task decodes.
+	out.partialMerge = func(tc *TaskContext, parts [][]Pair[K, V]) []Pair[K, V] {
+		var merged []Pair[K, V]
+		for _, sub := range parts {
+			merged = append(merged, sub...)
+		}
+		tc.ChargeRecords(len(merged), 0)
+		return merged
+	}
+	return out
 }
 
 // Join inner-joins two pair RDDs on their keys (an extension beyond the
-// paper's benchmarks, exercising multi-parent stages).
+// paper's benchmarks, exercising multi-parent stages). Join deliberately
+// sets no partialMerge: a map-range slice reads the SAME range of both
+// sides, so records pushed by a left map in-range would never meet their
+// right-side matches pushed by out-of-range maps. Coalescing and
+// speculation still apply to join stages; only splitting is off.
 func Join[K comparable, V, W any](left *RDD[Pair[K, V]], lconf ShuffleConf[K, V], right *RDD[Pair[K, W]], rconf ShuffleConf[K, W]) *RDD[Pair[K, Pair[V, W]]] {
 	parts := lconf.Parts
 	if parts < 1 {

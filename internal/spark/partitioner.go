@@ -50,7 +50,12 @@ func (p RangePartitioner[K]) PartitionFor(k K) int {
 
 // NewRangePartitioner derives bounds from a sample of keys so that the n
 // partitions receive approximately equal record counts, mirroring Spark's
-// sampled RangePartitioner.
+// sampled RangePartitioner. Duplicate bounds — which small or heavily
+// repeated samples produce when n approaches or exceeds the number of
+// distinct sampled keys — are dropped, so every bound is strictly greater
+// than its predecessor and no partition is structurally empty. The
+// partitioner may therefore end up with fewer than n partitions; callers
+// must size downstream structures from NumPartitions(), not n.
 func NewRangePartitioner[K any](sample []K, n int, ops KeyOps[K]) RangePartitioner[K] {
 	if n < 1 {
 		n = 1
@@ -64,7 +69,11 @@ func NewRangePartitioner[K any](sample []K, n int, ops KeyOps[K]) RangePartition
 			if idx >= len(sorted) {
 				idx = len(sorted) - 1
 			}
-			bounds = append(bounds, sorted[idx])
+			b := sorted[idx]
+			if len(bounds) > 0 && !ops.Less(bounds[len(bounds)-1], b) {
+				continue
+			}
+			bounds = append(bounds, b)
 		}
 	}
 	return RangePartitioner[K]{Bounds: bounds, Ops: ops}

@@ -1,0 +1,80 @@
+package spark
+
+import "testing"
+
+// collectAssignments partitions every key in [0, maxKey) and returns the
+// set of partitions that received at least one key.
+func usedPartitions(p RangePartitioner[int64], maxKey int64) map[int]bool {
+	used := make(map[int]bool)
+	for k := int64(0); k < maxKey; k++ {
+		used[p.PartitionFor(k)] = true
+	}
+	return used
+}
+
+func TestNewRangePartitionerDedupesBounds(t *testing.T) {
+	// A heavily repeated sample: 20 copies of key 7, a few outliers.
+	sample := make([]int64, 0, 24)
+	for i := 0; i < 20; i++ {
+		sample = append(sample, 7)
+	}
+	sample = append(sample, 1, 2, 100, 200)
+	p := NewRangePartitioner(sample, 8, Int64Key{})
+	ops := Int64Key{}
+	for i := 1; i < len(p.Bounds); i++ {
+		if !ops.Less(p.Bounds[i-1], p.Bounds[i]) {
+			t.Fatalf("bounds not strictly increasing: %v", p.Bounds)
+		}
+	}
+	if n := p.NumPartitions(); n > 8 {
+		t.Fatalf("NumPartitions = %d, want <= 8", n)
+	}
+	// Every partition must be reachable: with strictly increasing bounds
+	// there is a key range mapping to each index.
+	used := usedPartitions(p, 300)
+	if len(used) != p.NumPartitions() {
+		t.Fatalf("only %d of %d partitions reachable (bounds %v)",
+			len(used), p.NumPartitions(), p.Bounds)
+	}
+}
+
+func TestNewRangePartitionerMorePartitionsThanSample(t *testing.T) {
+	// n far exceeds the sample size: the partitioner must degrade to at
+	// most len(distinct sample) partitions, never emit duplicate bounds,
+	// and keep every partition non-structurally-empty.
+	sample := []int64{5, 10, 15}
+	p := NewRangePartitioner(sample, 16, Int64Key{})
+	ops := Int64Key{}
+	if n := p.NumPartitions(); n > len(sample)+1 {
+		t.Fatalf("NumPartitions = %d, want <= %d", n, len(sample)+1)
+	}
+	for i := 1; i < len(p.Bounds); i++ {
+		if !ops.Less(p.Bounds[i-1], p.Bounds[i]) {
+			t.Fatalf("bounds not strictly increasing: %v", p.Bounds)
+		}
+	}
+	used := usedPartitions(p, 32)
+	if len(used) != p.NumPartitions() {
+		t.Fatalf("only %d of %d partitions reachable (bounds %v)",
+			len(used), p.NumPartitions(), p.Bounds)
+	}
+	// Order preservation: larger keys never land in earlier partitions.
+	last := -1
+	for k := int64(0); k < 32; k++ {
+		part := p.PartitionFor(k)
+		if part < last {
+			t.Fatalf("key %d mapped to partition %d after partition %d", k, part, last)
+		}
+		last = part
+	}
+}
+
+func TestNewRangePartitionerEmptySample(t *testing.T) {
+	p := NewRangePartitioner(nil, 4, Int64Key{})
+	if n := p.NumPartitions(); n != 1 {
+		t.Fatalf("empty sample: NumPartitions = %d, want 1", n)
+	}
+	if got := p.PartitionFor(42); got != 0 {
+		t.Fatalf("empty sample: PartitionFor = %d, want 0", got)
+	}
+}

@@ -49,6 +49,15 @@ type TaskContext struct {
 	newlyCached    []cacheKey
 	shuffleReadVT  vtime.Stamp // vt after the last shuffle fetch completed
 	shuffleWaitDur vtime.Stamp // cumulative time spent waiting on shuffle fetches
+
+	// Ranged sub-task restriction: when ranged is set, FetchShuffle calls
+	// against rangedShuffle read only map ids [mapLo, mapHi). Set by the
+	// adaptive planner on split sub-tasks; other shuffles (a join's second
+	// side, say) are unaffected — but the planner only splits single-
+	// shuffle-dependency stages in the first place.
+	ranged        bool
+	mapLo, mapHi  int
+	rangedShuffle int
 }
 
 // VT returns the task's current virtual time.
@@ -124,7 +133,11 @@ func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([][]byte, func(), 
 	}
 	tc.Observe(vt)
 	start := tc.vt
-	results, vt2, err := e.sm.FetchShuffleParts(shuffleID, reduceID, statuses, e.id, e.bts, tc.vt)
+	lo, hi := 0, len(statuses)
+	if tc.ranged && shuffleID == tc.rangedShuffle {
+		lo, hi = tc.mapLo, tc.mapHi
+	}
+	results, vt2, err := e.sm.FetchShuffleRange(shuffleID, reduceID, statuses, e.id, e.bts, tc.vt, lo, hi)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -189,6 +202,16 @@ type rddBase interface {
 	computePartition(part int, tc *TaskContext) (any, error)
 	// records reports how many records a materialized partition holds.
 	records(data any) int
+	// canSplit reports whether a partition of this RDD may be computed as
+	// disjoint map-range sub-tasks and reassembled with mergePartials.
+	// Only shuffle-reading RDDs whose per-key result is recoverable from
+	// partial results set this (groupByKey, reduceByKey, sortByKey,
+	// repartition); a join cannot, since each side's range slice would
+	// miss matches against the other side's complement.
+	canSplit() bool
+	// mergePartials reassembles a partition from its sub-task results,
+	// given in map-range order. Charged against tc.
+	mergePartials(tc *TaskContext, parts []any) any
 }
 
 // RDD is a resilient distributed dataset of T: a lazy, partitioned
@@ -200,6 +223,10 @@ type RDD[T any] struct {
 	deps    []Dependency
 	compute func(part int, tc *TaskContext) ([]T, error)
 	cached  bool
+	// partialMerge, when set, reassembles one partition from the results
+	// of map-range sub-tasks (in map order) — the hook that makes the RDD
+	// splittable by the adaptive planner.
+	partialMerge func(tc *TaskContext, parts [][]T) []T
 }
 
 func newRDD[T any](ctx *Context, nParts int, deps []Dependency, compute func(int, *TaskContext) ([]T, error)) *RDD[T] {
@@ -235,8 +262,23 @@ func (r *RDD[T]) records(data any) int {
 	return len(data.([]T))
 }
 
+func (r *RDD[T]) canSplit() bool { return r.partialMerge != nil }
+
+func (r *RDD[T]) mergePartials(tc *TaskContext, parts []any) any {
+	typed := make([][]T, len(parts))
+	for i, p := range parts {
+		if p != nil {
+			typed[i] = p.([]T)
+		}
+	}
+	return r.partialMerge(tc, typed)
+}
+
 func (r *RDD[T]) computePartition(part int, tc *TaskContext) (any, error) {
-	if r.cached && tc.exec != nil {
+	// A ranged sub-task sees only a slice of the partition; caching it
+	// would poison later full reads, and a cached full partition would
+	// defeat the split. Bypass the cache entirely for ranged compute.
+	if r.cached && tc.exec != nil && !tc.ranged {
 		if v, ok := tc.exec.getCached(r.id, part); ok {
 			// Cached read: charge a light in-memory scan.
 			tc.Charge(time.Duration(float64(r.records(v)) * tc.cpu.NsPerRecord / 4))
@@ -247,7 +289,7 @@ func (r *RDD[T]) computePartition(part int, tc *TaskContext) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if r.cached && tc.exec != nil {
+	if r.cached && tc.exec != nil && !tc.ranged {
 		tc.exec.putCached(r.id, part, out)
 		tc.newlyCached = append(tc.newlyCached, cacheKey{rddID: r.id, part: part})
 	}

@@ -140,8 +140,15 @@ type Env struct {
 
 	reqSeq atomic.Int64
 
-	chunkClock     vtime.Clock
+	// chunkEngine is the stream-manager thread's occupancy: every served
+	// chunk, push, and stream response pays ChunkServeCost on it. A
+	// work-conserving Resource, not a monotone clock, for the same reason
+	// as endpoint dispatch: requests are handled in real-scheduler order,
+	// and an early-handled late-stamped request must not inflate every
+	// later stamp past its own virtual time.
+	chunkEngine    vtime.Resource
 	chunkResolver  func(blockID string) ([]byte, bool)
+	rangeRewriter  func(blockID string, mapLo, mapHi int) string
 	streamResolver func(streamID string) ([]byte, bool)
 	collectiveSink func(m *CollectiveChunk, vt vtime.Stamp)
 	pushHandler    func(m *PushBlockRequest, vt vtime.Stamp) ([]byte, error)
@@ -413,7 +420,7 @@ func (e *Env) servePush(ch *netty.Channel, m *PushBlockRequest, vt vtime.Stamp) 
 	e.mu.Lock()
 	handler := e.pushHandler
 	e.mu.Unlock()
-	svt := e.chunkClock.ObserveAndAdvance(vt, e.cfg.ChunkServeCost)
+	_, svt := e.chunkEngine.Occupy(vt, e.cfg.ChunkServeCost)
 	if handler == nil {
 		ch.Write(&RpcFailure{ReqID: m.PushID, Error: "no push handler"}, svt)
 		return
@@ -432,7 +439,7 @@ func (e *Env) serveChunk(ch *netty.Channel, m *ChunkFetchRequest, vt vtime.Stamp
 	e.mu.Lock()
 	resolver := e.chunkResolver
 	e.mu.Unlock()
-	svt := e.chunkClock.ObserveAndAdvance(vt, e.cfg.ChunkServeCost)
+	_, svt := e.chunkEngine.Occupy(vt, e.cfg.ChunkServeCost)
 	if resolver == nil {
 		ch.Write(&RpcFailure{ReqID: m.FetchID, Error: "no chunk resolver"}, svt)
 		return
@@ -474,6 +481,7 @@ type batchServe struct {
 func (e *Env) serveBatch(ch *netty.Channel, m *FetchBlocksRequest, vt vtime.Stamp) {
 	e.mu.Lock()
 	resolver := e.chunkResolver
+	rewriter := e.rangeRewriter
 	e.mu.Unlock()
 	chunkBytes := int(m.ChunkBytes)
 	if chunkBytes <= 0 {
@@ -486,6 +494,9 @@ func (e *Env) serveBatch(ch *netty.Channel, m *FetchBlocksRequest, vt vtime.Stam
 		vt:     vt,
 	}
 	for i, id := range m.BlockIDs {
+		if m.MapHi > m.MapLo && rewriter != nil {
+			id = rewriter(id, int(m.MapLo), int(m.MapHi))
+		}
 		if resolver != nil {
 			b.bodies[i], b.found[i] = resolver(id)
 		}
@@ -535,7 +546,7 @@ func (e *Env) servePump() {
 // has more to send.
 func (e *Env) serveNextChunk(b *batchServe) bool {
 	i := b.cur
-	svt := e.chunkClock.ObserveAndAdvance(b.vt, e.cfg.ChunkServeCost)
+	_, svt := e.chunkEngine.Occupy(b.vt, e.cfg.ChunkServeCost)
 	if !b.found[i] {
 		b.ch.Write(&BlockBatchChunk{BatchID: b.id, Index: uint32(i), Missing: true}, svt)
 		b.cur++
@@ -670,6 +681,14 @@ func (r *BatchBlockResult) Release() {
 // connect); per-block failures — missing blocks, a peer dying mid-batch —
 // are reported in the results so landed siblings survive.
 func (e *Env) FetchBlockBatch(peer fabric.Addr, blockIDs []string, chunkBytes int, at vtime.Stamp) ([]BatchBlockResult, vtime.Stamp, error) {
+	return e.FetchBlockBatchRange(peer, blockIDs, chunkBytes, 0, 0, at)
+}
+
+// FetchBlockBatchRange is FetchBlockBatch with a map-id range restriction:
+// merged-run block ids in the batch are served as their [mapLo, mapHi)
+// slice via the peer's registered range rewriter. mapHi == 0 means
+// unrestricted. Non-merged block ids are unaffected.
+func (e *Env) FetchBlockBatchRange(peer fabric.Addr, blockIDs []string, chunkBytes, mapLo, mapHi int, at vtime.Stamp) ([]BatchBlockResult, vtime.Stamp, error) {
 	if len(blockIDs) == 0 {
 		return nil, at, nil
 	}
@@ -692,7 +711,11 @@ func (e *Env) FetchBlockBatch(peer fabric.Addr, blockIDs []string, chunkBytes in
 	}
 	e.batches[id] = b
 	e.mu.Unlock()
-	ch.Write(&FetchBlocksRequest{BatchID: id, ChunkBytes: uint32(chunkBytes), BlockIDs: blockIDs}, vt)
+	ch.Write(&FetchBlocksRequest{
+		BatchID: id, ChunkBytes: uint32(chunkBytes),
+		MapLo: uint32(mapLo), MapHi: uint32(mapHi),
+		BlockIDs: blockIDs,
+	}, vt)
 	e.checkChannelAlive(ch)
 	<-b.done
 	// After done closes the batch is unregistered: no goroutine mutates it.
@@ -717,7 +740,7 @@ func (e *Env) serveStream(ch *netty.Channel, m *StreamRequest, vt vtime.Stamp) {
 	e.mu.Lock()
 	resolver := e.streamResolver
 	e.mu.Unlock()
-	svt := e.chunkClock.ObserveAndAdvance(vt, e.cfg.ChunkServeCost)
+	_, svt := e.chunkEngine.Occupy(vt, e.cfg.ChunkServeCost)
 	if resolver == nil {
 		return
 	}
@@ -738,12 +761,18 @@ func (e *Env) resolveStream(m *StreamResponse, vt vtime.Stamp) {
 	}
 }
 
-// endpoint is a named message target with serialized dispatch.
+// endpoint is a named message target with serialized dispatch. Dispatch
+// occupancy is tracked on a work-conserving Resource rather than a
+// monotone clock: calls are handled in real-scheduler arrival order, and
+// if a late-stamped call is handled before an earlier-stamped one, the
+// earlier call must backfill the idle gap — otherwise every dispatch
+// stamp after a straggler inherits the straggler's virtual time, and the
+// stamps themselves become a function of goroutine scheduling order.
 type endpoint struct {
 	name    string
 	handler Handler
 	cost    time.Duration
-	clock   vtime.Clock
+	engine  vtime.Resource
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -774,8 +803,8 @@ func (ep *endpoint) loop() {
 		c := ep.queue[0]
 		ep.queue = ep.queue[1:]
 		ep.mu.Unlock()
-		ep.clock.Observe(c.VT)
-		c.VT = ep.clock.Advance(ep.cost)
+		_, end := ep.engine.Occupy(c.VT, ep.cost)
+		c.VT = end
 		ep.handler(c)
 	}
 }
@@ -810,6 +839,17 @@ func (e *Env) RegisterEndpoint(name string, h Handler) error {
 func (e *Env) RegisterChunkResolver(fn func(blockID string) ([]byte, bool)) {
 	e.mu.Lock()
 	e.chunkResolver = fn
+	e.mu.Unlock()
+}
+
+// RegisterRangeRewriter installs the hook that maps a block id to its
+// ranged form when a FetchBlocksRequest carries a map-id restriction. The
+// rpc layer knows nothing about shuffle block naming — the external
+// shuffle service registers a rewriter that turns merged-run ids into
+// ranged merged-run ids and leaves everything else untouched.
+func (e *Env) RegisterRangeRewriter(fn func(blockID string, mapLo, mapHi int) string) {
+	e.mu.Lock()
+	e.rangeRewriter = fn
 	e.mu.Unlock()
 }
 

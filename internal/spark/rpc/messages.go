@@ -250,7 +250,14 @@ func (m *ChunkFetchSuccess) Encode(buf *bytebuf.Buf) {
 type FetchBlocksRequest struct {
 	BatchID    int64
 	ChunkBytes uint32
-	BlockIDs   []string
+	// MapLo/MapHi restrict merged-run block ids in this batch to map ids
+	// in the half-open range [MapLo, MapHi). MapHi == 0 (with MapLo == 0)
+	// means unrestricted — the full partition. The server applies the
+	// range via its registered range rewriter before resolution, so split
+	// sub-tasks fetch disjoint slices of the same merged run.
+	MapLo    uint32
+	MapHi    uint32
+	BlockIDs []string
 }
 
 // Type implements Message.
@@ -258,7 +265,7 @@ func (m *FetchBlocksRequest) Type() MsgType { return TypeFetchBlocksRequest }
 
 // WireSize implements Message.
 func (m *FetchBlocksRequest) WireSize() int {
-	n := 1 + 8 + 4 + 4
+	n := 1 + 8 + 4 + 4 + 4 + 4
 	for _, id := range m.BlockIDs {
 		n += 4 + len(id)
 	}
@@ -270,6 +277,8 @@ func (m *FetchBlocksRequest) Encode(buf *bytebuf.Buf) {
 	buf.WriteByte(byte(TypeFetchBlocksRequest))
 	buf.WriteInt64(m.BatchID)
 	buf.WriteUint32(m.ChunkBytes)
+	buf.WriteUint32(m.MapLo)
+	buf.WriteUint32(m.MapHi)
 	buf.WriteUint32(uint32(len(m.BlockIDs)))
 	for _, id := range m.BlockIDs {
 		buf.WriteString(id)
@@ -574,6 +583,12 @@ func Decode(buf *bytebuf.Buf) (Message, error) {
 			return nil, err
 		}
 		if m.ChunkBytes, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
+		if m.MapLo, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
+		if m.MapHi, err = buf.ReadUint32(); err != nil {
 			return nil, err
 		}
 		n, err := buf.ReadUint32()

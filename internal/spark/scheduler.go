@@ -217,7 +217,10 @@ func (c *Context) runShuffleMapStage(jobID int, dep *ShuffleDep) error {
 	return nil
 }
 
-// runResultStage executes the final stage of a job.
+// runResultStage executes the final stage of a job, consulting the
+// adaptive planner first: when the tracker's per-reducer sizes justify it,
+// the stage runs under a rewritten physical plan (split skewed partitions,
+// coalesced runts) instead of one task per partition.
 func (c *Context) runResultStage(jobID int, final rddBase, resultSize func(any) int, collect func(part int, res any)) error {
 	c.mu.Lock()
 	c.stageSeq++
@@ -228,6 +231,10 @@ func (c *Context) runResultStage(jobID int, final rddBase, resultSize func(any) 
 		kind:  "ResultStage",
 	}
 	c.mu.Unlock()
+
+	if plan := c.planResultStage(final); plan != nil {
+		return c.runAdaptedResultStage(jobID, stage, final, plan, resultSize, collect)
+	}
 
 	tasks := make([]*taskDescriptor, final.partitions())
 	for part := 0; part < final.partitions(); part++ {
@@ -393,6 +400,21 @@ func (c *Context) launchAndWait(stage *stageInfo, tasks []*taskDescriptor) ([]*c
 			}
 			comps = append(comps, comp)
 			break
+		}
+	}
+
+	// Straggler pass: with speculation on and the stage healthy, re-launch
+	// tasks that ran far past the stage median and commit whichever attempt
+	// finished first in virtual time. A won race can pull the stage end
+	// back below the straggler's completion — that is the payoff.
+	if c.cfg.Speculation && firstErr == nil && len(comps) >= 2 {
+		if c.speculate(stage, tasks, comps) {
+			end = sendVT
+			for _, comp := range comps {
+				if comp.driverVT > end {
+					end = comp.driverVT
+				}
+			}
 		}
 	}
 

@@ -30,6 +30,41 @@ func ParseMergedBlockID(id string) (shuffleID, reduceID int, ok bool) {
 	return s, r, true
 }
 
+// rangedBlockPrefix names a map-range slice of a merged run. It shares no
+// Sscanf-ambiguous prefix with MergedBlockID's format: parsing a ranged id
+// with the plain merged format stops at the 'R' and fails cleanly.
+const rangedBlockPrefix = "shuffleMergedRange"
+
+// RangedMergedBlockID names the subset of a merged run covering map ids in
+// the half-open range [mapLo, mapHi):
+// "shuffleMergedRange_<shuffle>_<reduce>_<lo>_<hi>". Split sub-tasks fetch
+// these so each reads a disjoint slice of the same reduce partition.
+func RangedMergedBlockID(shuffleID, reduceID, mapLo, mapHi int) storage.BlockID {
+	return storage.BlockID(fmt.Sprintf("%s_%d_%d_%d_%d", rangedBlockPrefix, shuffleID, reduceID, mapLo, mapHi))
+}
+
+// ParseRangedMergedBlockID reports whether id names a ranged merged run
+// and, if so, its shuffle, reduce partition, and [lo, hi) map range.
+func ParseRangedMergedBlockID(id string) (shuffleID, reduceID, mapLo, mapHi int, ok bool) {
+	var s, r, lo, hi int
+	if n, err := fmt.Sscanf(id, rangedBlockPrefix+"_%d_%d_%d_%d", &s, &r, &lo, &hi); err != nil || n != 4 {
+		return 0, 0, 0, 0, false
+	}
+	return s, r, lo, hi, true
+}
+
+// RewriteMergedRange maps a merged-run block id to its ranged form for
+// the given [mapLo, mapHi) map range; any other id passes through
+// unchanged. The external shuffle service registers this as the rpc range
+// rewriter, and the UCR client path applies it before sending (ranged ids
+// travel as strings there).
+func RewriteMergedRange(id string, mapLo, mapHi int) string {
+	if s, r, ok := ParseMergedBlockID(id); ok {
+		return string(RangedMergedBlockID(s, r, mapLo, mapHi))
+	}
+	return id
+}
+
 // MergedEntry is one map task's contribution inside a merged run.
 type MergedEntry struct {
 	MapID int

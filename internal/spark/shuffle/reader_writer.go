@@ -108,11 +108,38 @@ func (m *Manager) FetchShuffleParts(
 	bts BlockTransferService,
 	at vtime.Stamp,
 ) ([]FetchResult, vtime.Stamp, error) {
+	return m.FetchShuffleRange(shuffleID, reduceID, statuses, selfID, bts, at, 0, len(statuses))
+}
+
+// FetchShuffleRange is FetchShuffleParts restricted to map outputs with
+// ids in the half-open range [mapLo, mapHi) — the read primitive behind
+// skew splitting, where each sub-task of an oversized reduce partition
+// fetches a disjoint map-range slice. Results stay indexed by global map
+// id; entries outside the range are zero (empty Data), which downstream
+// decoding already skips. Service groups are fetched as ranged merged
+// runs when the transport supports it; the per-block path is inherently
+// ranged.
+func (m *Manager) FetchShuffleRange(
+	shuffleID, reduceID int,
+	statuses []*MapStatus,
+	selfID string,
+	bts BlockTransferService,
+	at vtime.Stamp,
+	mapLo, mapHi int,
+) ([]FetchResult, vtime.Stamp, error) {
+	if mapLo < 0 {
+		mapLo = 0
+	}
+	if mapHi > len(statuses) {
+		mapHi = len(statuses)
+	}
+	ranged := mapLo > 0 || mapHi < len(statuses)
 	// Validate the metadata upfront: a nil status means the tracker's
 	// view is already missing this map output, which is a fetch failure
-	// in its own right (zero Loc — nothing to unregister).
-	for mapID, st := range statuses {
-		if st == nil {
+	// in its own right (zero Loc — nothing to unregister). Only the
+	// requested range matters to this task.
+	for mapID := mapLo; mapID < mapHi; mapID++ {
+		if statuses[mapID] == nil {
 			return nil, at, &FetchFailedError{
 				ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID,
 				Err: fmt.Errorf("no registered map output"),
@@ -163,7 +190,8 @@ func (m *Manager) FetchShuffleParts(
 	// schedule).
 	groups := make(map[string][]remoteBlock)
 	var peerOrder []string
-	for mapID, st := range statuses {
+	for mapID := mapLo; mapID < mapHi; mapID++ {
+		st := statuses[mapID]
 		if abortedNow() {
 			break
 		}
@@ -224,7 +252,7 @@ func (m *Manager) FetchShuffleParts(
 				mu.Unlock()
 				budCond.Broadcast()
 			}()
-			m.fetchBatch(shuffleID, reduceID, blocks, bts, at, results, observe, fail, abortedNow)
+			m.fetchBatch(shuffleID, reduceID, blocks, bts, at, results, observe, fail, abortedNow, ranged, mapLo, mapHi)
 		}(blocks, batchBytes)
 	}
 	wg.Wait()
@@ -246,6 +274,8 @@ func (m *Manager) fetchBatch(
 	observe func(vtime.Stamp),
 	fail func(error),
 	abortedNow func() bool,
+	ranged bool,
+	mapLo, mapHi int,
 ) {
 	if abortedNow() {
 		return
@@ -253,10 +283,11 @@ func (m *Manager) fetchBatch(
 	// A group served by an external shuffle service is first tried as a
 	// single merged-run fetch — one sequential read replaces the per-map
 	// block batch. A miss (merging disabled, incomplete run, undecodable
-	// frame) falls through to the ordinary per-block path, which the
-	// service also serves.
+	// frame, or a ranged read on a transport without ranged support) falls
+	// through to the ordinary per-block path, which the service also
+	// serves.
 	if blocks[0].loc.Service {
-		if m.fetchMergedRun(shuffleID, reduceID, blocks, bts, at, results, observe) {
+		if m.fetchMergedRun(shuffleID, reduceID, blocks, bts, at, results, observe, ranged, mapLo, mapHi) {
 			return
 		}
 	}
@@ -325,10 +356,23 @@ func (m *Manager) fetchMergedRun(
 	at vtime.Stamp,
 	results []FetchResult,
 	observe func(vtime.Stamp),
+	ranged bool,
+	mapLo, mapHi int,
 ) bool {
 	id := MergedBlockID(shuffleID, reduceID)
-	metrics.GetCounter("shuffle.fetch.requests").Inc()
-	rs, _, err := bts.FetchBatch(blocks[0].loc, []storage.BlockID{id}, m.ChunkBytes, at)
+	var rs []BatchResult
+	var err error
+	if ranged {
+		rf, ok := bts.(RangeFetcher)
+		if !ok {
+			return false
+		}
+		metrics.GetCounter("shuffle.fetch.requests").Inc()
+		rs, _, err = rf.FetchBatchRange(blocks[0].loc, []storage.BlockID{id}, m.ChunkBytes, mapLo, mapHi, at)
+	} else {
+		metrics.GetCounter("shuffle.fetch.requests").Inc()
+		rs, _, err = bts.FetchBatch(blocks[0].loc, []storage.BlockID{id}, m.ChunkBytes, at)
+	}
 	if err != nil || len(rs) != 1 {
 		return false
 	}

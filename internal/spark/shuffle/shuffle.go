@@ -132,6 +132,44 @@ func (t *MapOutputTracker) Outputs(shuffleID int) ([]*MapStatus, error) {
 	return append([]*MapStatus(nil), ss...), nil
 }
 
+// SizesByReduce aggregates a shuffle's registered map statuses into the
+// per-reduce-partition view the adaptive planner consumes: totals[r] is
+// the bytes destined for reduce partition r summed over every map output,
+// and perMap[r][m] is map m's contribution to it. Missing map outputs
+// contribute zero; callers that need completeness use MissingOutputs.
+func (t *MapOutputTracker) SizesByReduce(shuffleID int) (totals []int64, perMap [][]int64, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ss, ok := t.statuses[shuffleID]
+	if !ok {
+		return nil, nil, fmt.Errorf("shuffle: unregistered shuffle %d", shuffleID)
+	}
+	numReduce := 0
+	for _, st := range ss {
+		if st != nil {
+			numReduce = len(st.Sizes)
+			break
+		}
+	}
+	totals = make([]int64, numReduce)
+	perMap = make([][]int64, numReduce)
+	for r := range perMap {
+		perMap[r] = make([]int64, len(ss))
+	}
+	for m, st := range ss {
+		if st == nil {
+			continue
+		}
+		for r, sz := range st.Sizes {
+			if r < numReduce {
+				totals[r] += sz
+				perMap[r][m] = sz
+			}
+		}
+	}
+	return totals, perMap, nil
+}
+
 // UnregisterShuffle drops a shuffle's metadata.
 func (t *MapOutputTracker) UnregisterShuffle(shuffleID int) {
 	t.mu.Lock()

@@ -43,6 +43,15 @@ type BatchResult struct {
 	Release func()
 }
 
+// RangeFetcher is the optional BlockTransferService extension for ranged
+// merged-run fetches: merged-run block ids in the batch are served as
+// their [mapLo, mapHi) map-id slice. Transports that do not implement it
+// simply never serve ranged merged runs — the manager's per-block path
+// (which is naturally ranged, block ids being per-map) covers the range.
+type RangeFetcher interface {
+	FetchBatchRange(loc Location, blockIDs []storage.BlockID, chunkBytes, mapLo, mapHi int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error)
+}
+
 // FetchBatchSerial is the default FetchBatch shim: one Fetch round-trip
 // per block, preserving pre-batching behavior for transports whose native
 // batch path has not landed.
@@ -76,11 +85,18 @@ func (b *NettyBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) 
 // FetchBlocksRequest/BlockBatchChunk pair — one round-trip, chunked and
 // pipelined reply, pooled reassembly buffers.
 func (b *NettyBTS) FetchBatch(loc Location, blockIDs []storage.BlockID, chunkBytes int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error) {
+	return b.FetchBatchRange(loc, blockIDs, chunkBytes, 0, 0, at)
+}
+
+// FetchBatchRange implements RangeFetcher: the [mapLo, mapHi) restriction
+// rides the FetchBlocksRequest wire fields and is applied by the server's
+// registered range rewriter before resolution.
+func (b *NettyBTS) FetchBatchRange(loc Location, blockIDs []storage.BlockID, chunkBytes, mapLo, mapHi int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error) {
 	ids := make([]string, len(blockIDs))
 	for i, id := range blockIDs {
 		ids[i] = string(id)
 	}
-	rs, vt, err := b.env.FetchBlockBatch(loc.Addr, ids, chunkBytes, at)
+	rs, vt, err := b.env.FetchBlockBatchRange(loc.Addr, ids, chunkBytes, mapLo, mapHi, at)
 	if err != nil {
 		return nil, vt, err
 	}
@@ -161,6 +177,14 @@ func (b *UCRBTS) Fetch(loc Location, blockID storage.BlockID, at vtime.Stamp) ([
 // order, pipelining the server's chunked service across the batch. The
 // chunkBytes hint is ignored — UCR chunks at its configured ChunkSize.
 func (b *UCRBTS) FetchBatch(loc Location, blockIDs []storage.BlockID, chunkBytes int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error) {
+	return b.FetchBatchRange(loc, blockIDs, chunkBytes, 0, 0, at)
+}
+
+// FetchBatchRange implements RangeFetcher. UCR carries block ids as
+// opaque strings end to end, so the range restriction is applied here by
+// rewriting merged-run ids into their ranged form before the request is
+// posted; the serving side resolves ranged ids directly.
+func (b *UCRBTS) FetchBatchRange(loc Location, blockIDs []storage.BlockID, chunkBytes, mapLo, mapHi int, at vtime.Stamp) ([]BatchResult, vtime.Stamp, error) {
 	client, vt, err := b.client(loc, at)
 	if err != nil {
 		return nil, at, err
@@ -168,6 +192,9 @@ func (b *UCRBTS) FetchBatch(loc Location, blockIDs []storage.BlockID, chunkBytes
 	ids := make([]string, len(blockIDs))
 	for i, id := range blockIDs {
 		ids[i] = string(id)
+		if mapHi > mapLo {
+			ids[i] = RewriteMergedRange(ids[i], mapLo, mapHi)
+		}
 	}
 	rs, maxVT, err := client.FetchBlocks(ids, vt)
 	if err != nil {

@@ -334,3 +334,126 @@ func TestServiceDuplicatePush(t *testing.T) {
 		}
 	})
 }
+
+// fetchRangeGuarded is fetchGuarded for a [mapLo, mapHi) restricted fetch.
+func fetchRangeGuarded(t testing.TB, p *svcPeer, shuffleID, reduceID int, statuses []*shuffle.MapStatus, mapLo, mapHi int) ([]shuffle.FetchResult, error) {
+	t.Helper()
+	type res struct {
+		results []shuffle.FetchResult
+		err     error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		results, _, err := p.sm.FetchShuffleRange(shuffleID, reduceID, statuses, p.id, p.bts, 0, mapLo, mapHi)
+		ch <- res{results, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.results, r.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("ranged shuffle fetch hung")
+		return nil, nil
+	}
+}
+
+// TestServiceRangedFetchBoundaries exercises the map-range fetch primitive
+// behind skew splitting at its boundary ranges — empty, single-map,
+// interior, full-width, and over/under-clamped — on every transport.
+// In-range blocks must be byte-exact, out-of-range entries empty, and the
+// service must serve only in-range payload bytes.
+func TestServiceRangedFetchBoundaries(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, transport string) {
+		const nMaps, shuffleID, reduceID, size = 4, 11, 0, 3000
+		cl := newSvcCluster(t, transport, nMaps)
+		reducer := cl.peers[0]
+
+		statuses := make([]*shuffle.MapStatus, nMaps)
+		for m, p := range cl.peers {
+			statuses[m] = pushMapOutput(t, p, shuffleID, m, [][]byte{svcBlock(m, reduceID, size)})
+		}
+
+		ranges := []struct{ lo, hi int }{
+			{0, 0},             // empty range: no maps, no bytes
+			{0, 1},             // single map at the left edge
+			{nMaps - 1, nMaps}, // single map at the right edge
+			{1, 3},             // interior slice
+			{0, nMaps},         // full width
+			{0, nMaps + 1},     // overshoot: clamped to nMaps
+			{-1, 2},            // undershoot: clamped to 0
+		}
+		for _, rg := range ranges {
+			before := metrics.Snapshot()
+			results, err := fetchRangeGuarded(t, reducer, shuffleID, reduceID, statuses, rg.lo, rg.hi)
+			if err != nil {
+				t.Fatalf("range [%d,%d): %v", rg.lo, rg.hi, err)
+			}
+			if len(results) != nMaps {
+				t.Fatalf("range [%d,%d): %d results, want %d (globally indexed)", rg.lo, rg.hi, len(results), nMaps)
+			}
+			lo, hi := rg.lo, rg.hi
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > nMaps {
+				hi = nMaps
+			}
+			var wantServed int64
+			for m := range results {
+				if m >= lo && m < hi {
+					if !bytes.Equal(results[m].Data, svcBlock(m, reduceID, size)) {
+						t.Fatalf("range [%d,%d): map %d corrupted", rg.lo, rg.hi, m)
+					}
+					wantServed += size // served even when reducer-local
+				} else if len(results[m].Data) != 0 {
+					t.Fatalf("range [%d,%d): out-of-range map %d returned %d bytes", rg.lo, rg.hi, m, len(results[m].Data))
+				}
+			}
+			if d := before.DeltaValue(shuffleservice.CounterServedBytes); d != wantServed {
+				t.Fatalf("range [%d,%d): served_bytes delta = %d, want %d", rg.lo, rg.hi, d, wantServed)
+			}
+		}
+	})
+}
+
+// TestServiceRangedFetchFallback disables merged runs mid-shuffle: a
+// ranged fetch must then be served by the per-block path — which is
+// inherently ranged — with identical bytes and zero merged runs built, on
+// every transport. This is the split-sub-task + merge-disabled
+// interaction: skew splitting must not depend on the merge path being
+// available.
+func TestServiceRangedFetchFallback(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, transport string) {
+		const nMaps, shuffleID, reduceID, size = 3, 12, 0, 2048
+		cl := newSvcCluster(t, transport, nMaps)
+		reducer := cl.peers[0]
+
+		statuses := make([]*shuffle.MapStatus, nMaps)
+		for m, p := range cl.peers {
+			p.svc.SetMergeEnabled(false)
+			statuses[m] = pushMapOutput(t, p, shuffleID, m, [][]byte{svcBlock(m, reduceID, size)})
+		}
+
+		before := metrics.Snapshot()
+		results, err := fetchRangeGuarded(t, reducer, shuffleID, reduceID, statuses, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 1; m < 3; m++ {
+			if !bytes.Equal(results[m].Data, svcBlock(m, reduceID, size)) {
+				t.Fatalf("fallback range: map %d corrupted", m)
+			}
+		}
+		if len(results[0].Data) != 0 {
+			t.Fatalf("fallback range: out-of-range map 0 returned %d bytes", len(results[0].Data))
+		}
+		if d := before.DeltaValue("shuffle.fetch.merged_runs"); d != 0 {
+			t.Fatalf("merged_runs delta = %d, want 0 with merge disabled", d)
+		}
+		if d := before.DeltaValue(shuffleservice.CounterMergedBytes); d != 0 {
+			t.Fatalf("merged_bytes delta = %d, want 0 with merge disabled", d)
+		}
+		if d := before.DeltaValue(shuffleservice.CounterServedBytes); d != 2*size {
+			t.Fatalf("served_bytes delta = %d, want %d", d, 2*size)
+		}
+	})
+}

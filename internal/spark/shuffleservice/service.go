@@ -96,11 +96,15 @@ func New(id string, env *rpc.Env) *Service {
 	return s
 }
 
-// Attach registers the service's push handler and block resolver on env.
+// Attach registers the service's push handler, block resolver, and
+// merged-run range rewriter on env. The rewriter is how a ranged
+// FetchBlocksRequest turns into a ranged merged-run lookup without the
+// rpc layer knowing shuffle block naming.
 func (s *Service) Attach(env *rpc.Env) {
 	s.env = env
 	env.RegisterPushHandler(s.HandlePush)
 	env.RegisterChunkResolver(s.Resolve)
+	env.RegisterRangeRewriter(shuffle.RewriteMergedRange)
 }
 
 // ID returns the service's identity (the ExecID of its locations).
@@ -165,6 +169,23 @@ func (s *Service) Push(shuffleID, mapID, reduceID int, body []byte, vt vtime.Sta
 // return the cached) locality-sorted run; anything else is looked up in
 // the pushed-block store. Every hit counts payload bytes served.
 func (s *Service) Resolve(blockID string) ([]byte, bool) {
+	if shuffleID, reduceID, lo, hi, ok := shuffle.ParseRangedMergedBlockID(blockID); ok {
+		if !s.mergeEnabled.Load() {
+			return nil, false
+		}
+		run, payload, ok := s.rangedRun(shuffleID, reduceID, lo, hi)
+		if !ok {
+			return nil, false
+		}
+		metrics.GetCounter(CounterServedBytes).Add(int64(payload))
+		s.bus.Load().Emit(obs.Event{
+			Type:      obs.EvShuffleServe,
+			ShuffleID: shuffleID, ReduceID: reduceID,
+			MapLo: lo, MapHi: hi,
+			Bytes: payload, Executor: s.id,
+		})
+		return run, true
+	}
 	if shuffleID, reduceID, ok := shuffle.ParseMergedBlockID(blockID); ok {
 		if !s.mergeEnabled.Load() {
 			return nil, false
@@ -236,6 +257,38 @@ func (s *Service) mergedRun(shuffleID, reduceID int) (run []byte, payload int, o
 		})
 	}
 	return run, payload, true
+}
+
+// rangedRun encodes the [mapLo, mapHi) slice of one reduce partition's
+// merged run. The full run is built (or refreshed) first so merged-byte
+// accounting happens exactly once no matter how many ranged slices are
+// served from it; the slice itself is encoded on demand and never cached —
+// split fan-out makes each range typically fetched once.
+func (s *Service) rangedRun(shuffleID, reduceID, mapLo, mapHi int) (run []byte, payload int, ok bool) {
+	if _, _, ok := s.mergedRun(shuffleID, reduceID); !ok {
+		return nil, 0, false
+	}
+	key := mergeKey{shuffle: shuffleID, reduce: reduceID}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.merges[key]
+	if ms == nil {
+		return nil, 0, false
+	}
+	mapIDs := make([]int, 0, len(ms.entries))
+	for id := range ms.entries {
+		if id >= mapLo && id < mapHi {
+			mapIDs = append(mapIDs, id)
+		}
+	}
+	sort.Ints(mapIDs)
+	entries := make([]shuffle.MergedEntry, len(mapIDs))
+	total := 0
+	for i, id := range mapIDs {
+		entries[i] = shuffle.MergedEntry{MapID: id, Data: ms.entries[id]}
+		total += len(ms.entries[id])
+	}
+	return shuffle.EncodeMergedRun(entries), total, true
 }
 
 // RemoveShuffle evicts a completed shuffle's pushed blocks and merged runs.

@@ -63,11 +63,15 @@ type Server struct {
 	resolve Resolver
 	cfg     Config
 
-	// clock serializes all chunk service on the server: UCR drives its
+	// engine serializes all chunk service on the server: UCR drives its
 	// endpoints from a single progress engine, so concurrent fetches from
 	// different peers queue behind one another — a structural difference
 	// from MPI's per-connection progress that the evaluation exposes.
-	clock vtime.Clock
+	// It is a Resource rather than a monotone clock so that service is
+	// work-conserving: a request arriving at an early virtual time fills
+	// an idle gap even when the Go scheduler happens to run it after a
+	// later-stamped request from another connection.
+	engine vtime.Resource
 
 	mu      sync.Mutex
 	conns   []*serverConn
@@ -86,11 +90,13 @@ func (s *Server) ReqWindow() (vtime.Stamp, vtime.Stamp) {
 }
 
 // Stats reports served fetches, cumulative engine busy time, and the
-// engine clock's current value (diagnostics).
+// virtual time the engine's last granted service interval ends
+// (diagnostics).
 func (s *Server) Stats() (fetches int64, busy vtime.Stamp, clock vtime.Stamp) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fetches, s.busy, s.clock.Now()
+	fetches, busy = s.fetches, s.busy
+	s.mu.Unlock()
+	return fetches, busy, s.engine.FreeAt()
 }
 
 // NewServer creates a UCR block server on the given device.
@@ -161,8 +167,7 @@ func (s *Server) serve(sc *serverConn) {
 			s.maxReq = comp.VT
 		}
 		s.mu.Unlock()
-		vt := s.clock.ObserveAndAdvance(comp.VT, 0)
-		svcStart := vt
+		vt := comp.VT
 
 		data, ok := s.resolve(blockID)
 		if !ok {
@@ -172,9 +177,12 @@ func (s *Server) serve(sc *serverConn) {
 			}
 			continue
 		}
+		var served time.Duration
 		if s.cfg.RegisterPerFetch {
-			_, vt = s.dev.RegisterMemory(data, vt)
-			s.clock.Observe(vt)
+			_, regDone := s.dev.RegisterMemory(data, vt)
+			regCost := (regDone - vt).AsDuration()
+			_, vt = s.engine.Occupy(vt, regCost)
+			served += regCost
 		}
 		s.mu.Lock()
 		s.fetches++
@@ -185,20 +193,26 @@ func (s *Server) serve(sc *serverConn) {
 			if end > len(data) {
 				end = len(data)
 			}
-			vt = s.clock.Advance(s.cfg.PerChunkOverhead + time.Duration(s.cfg.EngineNsPerByte*float64(end-off)))
+			cost := s.cfg.PerChunkOverhead + time.Duration(s.cfg.EngineNsPerByte*float64(end-off))
+			_, vt = s.engine.Occupy(vt, cost)
+			served += cost
 			payload := append(encodeChunkHeader(total, uint64(off), uint32(end-off)), data[off:end]...)
 			cpuFree, err := sc.qp.PostSend(payload, vt)
 			if err != nil {
 				return
 			}
-			s.clock.Observe(cpuFree)
-			vt = s.clock.Now()
+			if cpuFree > vt {
+				// The injection-side CPU time holds the engine too.
+				s.engine.Occupy(vt, (cpuFree - vt).AsDuration())
+				served += (cpuFree - vt).AsDuration()
+				vt = cpuFree
+			}
 			if len(data) == 0 {
 				break
 			}
 		}
 		s.mu.Lock()
-		s.busy += vt - svcStart
+		s.busy += vtime.Stamp(served.Nanoseconds())
 		s.mu.Unlock()
 	}
 }
