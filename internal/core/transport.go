@@ -420,7 +420,7 @@ func (h *optOutbound) Write(ctx *netty.Context, msg any) {
 			vt := ctx.VT()
 			ctx.Write(&rpc.PushBlockRequest{
 				PushID: m.PushID, ShuffleID: m.ShuffleID,
-				MapID: m.MapID, ReduceID: m.ReduceID,
+				MapID: m.MapID, ReduceID: m.ReduceID, Sum: m.Sum,
 				BodyViaMPI: true, BodySize: len(m.Body), BodyTag: tag,
 			})
 			for off := 0; off < len(m.Body); off += thr {
@@ -521,7 +521,7 @@ func (h *optInbound) ChannelRead(ctx *netty.Context, msg any) {
 			ctx.SetVT(vtime.Max(ctx.VT(), vt))
 			ctx.FireChannelRead(&rpc.PushBlockRequest{
 				PushID: m.PushID, ShuffleID: m.ShuffleID,
-				MapID: m.MapID, ReduceID: m.ReduceID,
+				MapID: m.MapID, ReduceID: m.ReduceID, Sum: m.Sum,
 				Body: data, BodySize: len(data),
 			})
 			return

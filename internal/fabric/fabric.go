@@ -43,6 +43,21 @@ func (s Stats) BytesFor(p Protocol) int64 { return s.Bytes[p] }
 // fabric lock while invoking it).
 type TransferHook func(from, to *Node, proto Protocol, n int, at vtime.Stamp)
 
+// FaultPlane generalizes TransferHook from pure observation to
+// deterministic fault injection. Every Transfer on the fabric — all four
+// transports funnel through it — consults the installed plane:
+// TransferDelay's extra duration is added to the delivery stamp (drop
+// modeled as retransmit, jitter, flap-window waits), and LinkDown gates
+// connection-oriented paths: Dial refuses and Conn sends fail while a link
+// is administratively down, handing recovery to the transports' existing
+// connection-loss machinery. Implementations must be safe for concurrent
+// use and deterministic in their arguments (the fault plane is part of the
+// simulation, not a source of nondeterminism).
+type FaultPlane interface {
+	TransferDelay(from, to string, n int, at vtime.Stamp) time.Duration
+	LinkDown(from, to string, at vtime.Stamp) bool
+}
+
 // Fabric is a simulated interconnect: a set of nodes joined by a modeled
 // network. Create one with New, add nodes, then Listen/Dial between them.
 type Fabric struct {
@@ -55,6 +70,7 @@ type Fabric struct {
 
 	hookMu sync.RWMutex
 	hook   TransferHook
+	plane  FaultPlane
 
 	msgs  [numProtocols]atomic.Int64
 	bytes [numProtocols]atomic.Int64
@@ -251,6 +267,10 @@ func (n *Node) Dial(addr Addr, proto Protocol, at vtime.Stamp) (*Conn, vtime.Sta
 		return nil, at, fmt.Errorf("fabric: node failed dialing %s", addr)
 	}
 	f.mu.Unlock()
+	if plane := f.FaultPlane(); plane != nil && n != remote &&
+		plane.LinkDown(n.name, remote.name, at) {
+		return nil, at, fmt.Errorf("fabric: link down dialing %s", addr)
+	}
 
 	a2b, b2a := newQueue(), newQueue()
 	dialSide := &Conn{local: n, remote: remote, proto: proto, out: a2b, in: b2a, peerAddr: addr}
@@ -324,7 +344,17 @@ func (c *Conn) sendProto(data []byte, at vtime.Stamp, proto Protocol) (vtime.Sta
 	if c.closed.Load() {
 		return at, ErrClosed
 	}
-	cpuFree, deliver := c.local.fabric.Transfer(c.local, c.remote, proto, len(data), at)
+	f := c.local.fabric
+	if plane := f.FaultPlane(); plane != nil && c.local != c.remote &&
+		plane.LinkDown(c.local.name, c.remote.name, at) {
+		// The link is flapped or partitioned: the connection dies the way a
+		// TCP session dies when the path disappears, and the transports'
+		// connection-loss recovery (redial after backoff, past the window)
+		// takes over.
+		c.Close()
+		return at, ErrClosed
+	}
+	cpuFree, deliver := f.Transfer(c.local, c.remote, proto, len(data), at)
 	c.out.push(Message{Data: data, VT: deliver})
 	return cpuFree, nil
 }
@@ -337,6 +367,7 @@ func (c *Conn) sendProto(data []byte, at vtime.Stamp, proto Protocol) (vtime.Sta
 func (f *Fabric) Transfer(from, to *Node, proto Protocol, n int, at vtime.Stamp) (cpuFree, deliver vtime.Stamp) {
 	f.hookMu.RLock()
 	hook := f.hook
+	plane := f.plane
 	f.hookMu.RUnlock()
 	if hook != nil {
 		hook(from, to, proto, n, at)
@@ -346,6 +377,10 @@ func (f *Fabric) Transfer(from, to *Node, proto Protocol, n int, at vtime.Stamp)
 		d := f.model.loopback(n)
 		cpuFree = at.Add(d)
 		return cpuFree, cpuFree
+	}
+	var fault time.Duration
+	if plane != nil {
+		fault = plane.TransferDelay(from.name, to.name, n, at)
 	}
 	from.txMsgs.Add(1)
 	from.txBytes.Add(int64(n))
@@ -361,7 +396,7 @@ func (f *Fabric) Transfer(from, to *Node, proto Protocol, n int, at vtime.Stamp)
 	// occupancy queues and delivery slips.
 	_, rxEnd := to.nicRx.Occupy(arrive.Add(-serial), serial)
 	deliver = vtime.Max(arrive, rxEnd)
-	deliver = deliver.Add(cost.RecvOverhead + cost.copyCost(n))
+	deliver = deliver.Add(cost.RecvOverhead + cost.copyCost(n) + fault)
 	return cpuFree, deliver
 }
 
@@ -421,6 +456,24 @@ func (f *Fabric) SetTransferHook(fn TransferHook) {
 	f.hookMu.Lock()
 	f.hook = fn
 	f.hookMu.Unlock()
+}
+
+// SetFaultPlane installs a fault-injection plane on the fabric (nil
+// removes it). Verdicts run synchronously inside every Transfer, Dial and
+// Conn send — keep them cheap.
+func (f *Fabric) SetFaultPlane(p FaultPlane) {
+	f.hookMu.Lock()
+	f.plane = p
+	f.hookMu.Unlock()
+}
+
+// FaultPlane returns the installed fault plane, or nil. Endpoint layers
+// (rpc serve paths, UCR) fetch it here and probe structurally for
+// payload-fault verdicts beyond the transfer-level interface.
+func (f *Fabric) FaultPlane() FaultPlane {
+	f.hookMu.RLock()
+	defer f.hookMu.RUnlock()
+	return f.plane
 }
 
 // FailNode injects a node failure: every connection touching the node is

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"mpi4spark/internal/vtime"
+)
+
+func TestVerdictsDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed: 42,
+		Rules: []LinkRule{{
+			From: "w*", To: "", DropRate: 0.3, DupRate: 0.3,
+			CorruptRate: 0.3, JitterMax: 5 * time.Microsecond,
+		}},
+	}
+	a, b := NewPlane(plan), NewPlane(plan)
+	body := []byte("0123456789abcdef")
+	for i := 0; i < 1000; i++ {
+		at := vtime.Stamp(i * 17)
+		if a.TransferDelay("w0", "w1", i, at) != b.TransferDelay("w0", "w1", i, at) {
+			t.Fatalf("TransferDelay diverged at draw %d", i)
+		}
+		if a.DupDeliver("w0", "w1", "blk", at) != b.DupDeliver("w0", "w1", "blk", at) {
+			t.Fatalf("DupDeliver diverged at draw %d", i)
+		}
+		ca, oka := a.CorruptBody("w0", "w1", "blk", body, at)
+		cb, okb := b.CorruptBody("w0", "w1", "blk", body, at)
+		if oka != okb || !bytes.Equal(ca, cb) {
+			t.Fatalf("CorruptBody diverged at draw %d", i)
+		}
+	}
+	if a.Counters() != b.Counters() {
+		t.Fatalf("counters diverged: %+v vs %+v", a.Counters(), b.Counters())
+	}
+}
+
+func TestDropRateConverges(t *testing.T) {
+	p := NewPlane(Plan{Seed: 7, Rules: []LinkRule{{DropRate: 0.1}}})
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		p.TransferDelay("a", "b", 1024, vtime.Stamp(i*31))
+	}
+	got := float64(p.Counters().Drops) / draws
+	if math.Abs(got-0.1) > 0.02 {
+		t.Fatalf("drop rate %.3f, want ~0.1", got)
+	}
+}
+
+func TestMatcherScoping(t *testing.T) {
+	p := NewPlane(Plan{Seed: 1, Rules: []LinkRule{{From: "w*", To: "w1", DropRate: 1}}})
+	if d := p.TransferDelay("w0", "w1", 64, 5); d == 0 {
+		t.Fatal("matching link saw no drop at rate 1")
+	}
+	if d := p.TransferDelay("w0", "w2", 64, 5); d != 0 {
+		t.Fatalf("non-matching receiver faulted: %v", d)
+	}
+	if d := p.TransferDelay("m0", "w1", 64, 5); d != 0 {
+		t.Fatalf("non-matching sender faulted: %v", d)
+	}
+	if d := p.TransferDelay("w1", "w1", 64, 5); d != 0 {
+		t.Fatalf("loopback faulted: %v", d)
+	}
+}
+
+func TestFlapWindow(t *testing.T) {
+	w := Window{Start: 100, End: 200}
+	p := NewPlane(Plan{Seed: 3, Rules: []LinkRule{{From: "w0", To: "w1", Flaps: []Window{w}}}})
+	if p.LinkDown("w0", "w1", 99) {
+		t.Fatal("link down before window")
+	}
+	if !p.LinkDown("w0", "w1", 150) {
+		t.Fatal("link up inside window")
+	}
+	if p.LinkDown("w1", "w0", 150) {
+		t.Fatal("reverse direction down for one-way flap rule")
+	}
+	if p.LinkDown("w0", "w1", 200) {
+		t.Fatal("link down at window end (half-open)")
+	}
+	// A transfer during the window is delayed at least to the window end.
+	if d := p.TransferDelay("w0", "w1", 64, 150); d < 50 {
+		t.Fatalf("in-window transfer delay %v, want >= 50ns", d)
+	}
+}
+
+func TestPartitionCutsBothDirections(t *testing.T) {
+	p := NewPlane(Plan{Seed: 9, Partitions: []Partition{{
+		A: []string{"w0"}, B: []string{"w1", "w2"},
+		Window: Window{Start: 10, End: 20},
+	}}})
+	for _, pair := range [][2]string{{"w0", "w1"}, {"w1", "w0"}, {"w0", "w2"}, {"w2", "w0"}} {
+		if !p.LinkDown(pair[0], pair[1], 15) {
+			t.Fatalf("link %s->%s up inside partition", pair[0], pair[1])
+		}
+		if p.LinkDown(pair[0], pair[1], 25) {
+			t.Fatalf("link %s->%s down after heal", pair[0], pair[1])
+		}
+	}
+	if p.LinkDown("w1", "w2", 15) {
+		t.Fatal("intra-side link cut by partition")
+	}
+}
+
+func TestCorruptBodyCopies(t *testing.T) {
+	p := NewPlane(Plan{Seed: 5, Rules: []LinkRule{{CorruptRate: 1}}})
+	orig := []byte("the quick brown fox")
+	keep := append([]byte(nil), orig...)
+	cp, ok := p.CorruptBody("a", "b", "blk", orig, 77)
+	if !ok {
+		t.Fatal("no corruption at rate 1")
+	}
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("CorruptBody mutated the caller's buffer")
+	}
+	diff := 0
+	for i := range cp {
+		diff += popcount(cp[i] ^ orig[i])
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

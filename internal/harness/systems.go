@@ -14,6 +14,7 @@ import (
 
 	"mpi4spark/internal/core"
 	"mpi4spark/internal/fabric"
+	"mpi4spark/internal/faults"
 	"mpi4spark/internal/mpi"
 	"mpi4spark/internal/spark"
 	"mpi4spark/internal/spark/deploy"
@@ -123,6 +124,10 @@ type ClusterSpec struct {
 	// when zero.
 	Speculation           bool
 	SpeculationMultiplier float64
+	// Faults installs a deterministic network fault plan on the cluster's
+	// fabric (internal/faults): per-link drop/dup/corrupt/jitter rules,
+	// link flaps, and node-set partitions in virtual time. Nil runs clean.
+	Faults *faults.Plan
 }
 
 // BuildCluster constructs the cluster: standalone deploy for Vanilla and
@@ -149,6 +154,9 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 		cpu.SortNsPerCmp *= f
 	}
 	f := fabric.New(spec.System.NewModel())
+	if spec.Faults != nil {
+		f.SetFaultPlane(faults.NewPlane(*spec.Faults))
+	}
 	wn := make([]*fabric.Node, spec.Workers)
 	for i := range wn {
 		wn[i] = f.AddNode(fmt.Sprintf("w%d", i))

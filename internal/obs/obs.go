@@ -39,6 +39,7 @@ const (
 	EvShuffleServe     = "ShuffleServe"
 	EvStageAdapted     = "StageAdapted"
 	EvTaskSpeculated   = "TaskSpeculated"
+	EvBlockCorrupt     = "BlockCorrupt"
 )
 
 // Event is one structured lifecycle record. The zero values of the ID

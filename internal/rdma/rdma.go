@@ -158,6 +158,10 @@ func ConnectQP(a, b *Device, at vtime.Stamp) (qpA, qpB *QueuePair, ready vtime.S
 // CQ returns the queue pair's completion queue.
 func (qp *QueuePair) CQ() *CompletionQueue { return qp.cq }
 
+// RemoteNode returns the node on the far side of the pair (fault-plane
+// link matching).
+func (qp *QueuePair) RemoteNode() *fabric.Node { return qp.remote.node }
+
 // nodeFailed reports whether either endpoint's node has been failed on the
 // fabric. RDMA bypasses fabric connections, so queue pairs discover node
 // failure lazily, like a reliable-connected QP timing out its retries.

@@ -55,6 +55,26 @@ type Config struct {
 	// batched fetch requests per reduce task
 	// (spark.reducer.maxBytesInFlight; default 48 MiB).
 	ShuffleMaxBytesInFlight int64
+	// ShuffleRetryJitter spreads fetch retry backoffs: each retry waits an
+	// extra uniform duration in [0, jitter*backoff), drawn
+	// deterministically from the block id and attempt number, so reducers
+	// that lost blocks to the same link flap decorrelate instead of
+	// stampeding the peer in lockstep. 0 disables; default 0.5.
+	ShuffleRetryJitter float64
+	// ShuffleBreakerThreshold trips a per-peer circuit breaker after that
+	// many consecutive failed fetch attempts against one peer; while open,
+	// fetches from that peer fail fast onto the degradation chain (merged-
+	// run fallback, service blacklist, map-stage recompute) instead of
+	// burning their full retry schedules. 0 disables; default 12.
+	ShuffleBreakerThreshold int
+	// ShuffleRetryBudget trips the breaker once more than that many fetch
+	// failures have been charged against one peer since its last success,
+	// bounding total retry work per peer across concurrent reducers.
+	// 0 disables; default 24.
+	ShuffleRetryBudget int
+	// ShuffleBreakerCooldown is how long a tripped breaker stays open
+	// before admitting a half-open probe (default 5ms virtual time).
+	ShuffleBreakerCooldown time.Duration
 	// ExternalShuffleService enables the per-worker external shuffle
 	// service (spark.shuffle.service.enabled): map tasks push committed
 	// blocks to their node-local service, map statuses point at the
@@ -148,9 +168,12 @@ func DefaultConfig() Config {
 		ShuffleMaxRetries:    retry.MaxRetries,
 		ShuffleRetryWait:     retry.RetryWait,
 		ShuffleFetchDeadline: retry.FetchDeadline,
+		ShuffleRetryJitter:   retry.JitterFrac,
 
 		ShuffleChunkBytes:       shuffle.DefaultChunkBytes,
 		ShuffleMaxBytesInFlight: shuffle.DefaultMaxBytesInFlight,
+		ShuffleBreakerThreshold: shuffle.DefaultBreakerThreshold,
+		ShuffleRetryBudget:      shuffle.DefaultRetryBudget,
 	}
 }
 
@@ -300,6 +323,24 @@ func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, e
 		cfg.ShuffleMaxRetries = retry.MaxRetries
 		cfg.ShuffleRetryWait = retry.RetryWait
 		cfg.ShuffleFetchDeadline = retry.FetchDeadline
+		if cfg.ShuffleRetryJitter == 0 {
+			cfg.ShuffleRetryJitter = retry.JitterFrac
+		}
+	}
+	if cfg.ShuffleRetryJitter < 0 {
+		cfg.ShuffleRetryJitter = 0 // negative = explicit opt-out
+	}
+	if cfg.ShuffleBreakerThreshold == 0 && cfg.ShuffleRetryBudget == 0 {
+		// Same convention as retries: all-zero takes the shipped breaker
+		// defaults, a negative value in either field opts out entirely.
+		cfg.ShuffleBreakerThreshold = shuffle.DefaultBreakerThreshold
+		cfg.ShuffleRetryBudget = shuffle.DefaultRetryBudget
+	}
+	if cfg.ShuffleBreakerThreshold < 0 {
+		cfg.ShuffleBreakerThreshold = 0
+	}
+	if cfg.ShuffleRetryBudget < 0 {
+		cfg.ShuffleRetryBudget = 0
 	}
 	if cfg.ShuffleChunkBytes <= 0 {
 		cfg.ShuffleChunkBytes = shuffle.DefaultChunkBytes
@@ -530,5 +571,6 @@ func (c *Context) shuffleRetryPolicy() shuffle.RetryPolicy {
 		MaxRetries:    c.cfg.ShuffleMaxRetries,
 		RetryWait:     c.cfg.ShuffleRetryWait,
 		FetchDeadline: c.cfg.ShuffleFetchDeadline,
+		JitterFrac:    c.cfg.ShuffleRetryJitter,
 	}
 }

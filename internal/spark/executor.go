@@ -214,6 +214,10 @@ func (e *Executor) Attach(ctx *Context) error {
 	e.sm.Retry = ctx.shuffleRetryPolicy()
 	e.sm.ChunkBytes = ctx.cfg.ShuffleChunkBytes
 	e.sm.MaxBytesInFlight = ctx.cfg.ShuffleMaxBytesInFlight
+	e.sm.BreakerThreshold = ctx.cfg.ShuffleBreakerThreshold
+	e.sm.RetryBudget = ctx.cfg.ShuffleRetryBudget
+	e.sm.BreakerCooldown = ctx.cfg.ShuffleBreakerCooldown
+	e.sm.Bus = ctx.bus
 	e.coll = collective.NewStation(e.env)
 	if e.svc != nil {
 		e.svc.SetBus(ctx.bus)
@@ -255,13 +259,13 @@ func (e *Executor) writeMapOutput(tc *TaskContext, shuffleID, mapID int, parts [
 		if len(p) == 0 {
 			continue
 		}
-		_, vt, err := e.env.PushBlock(addr, shuffleID, mapID, r, p, tc.vt)
+		_, vt, err := e.env.PushBlock(addr, shuffleID, mapID, r, p, st.Sums[r], tc.vt)
 		if err != nil {
 			return nil, fmt.Errorf("push shuffle block %d/%d/%d to %s: %w", shuffleID, mapID, r, e.svc.ID(), err)
 		}
 		tc.vt = vtime.Max(tc.vt, vt)
 	}
-	return &shuffle.MapStatus{Loc: e.svc.Location(), Sizes: st.Sizes}, nil
+	return &shuffle.MapStatus{Loc: e.svc.Location(), Sizes: st.Sizes, Sums: st.Sums}, nil
 }
 
 // runTask executes one task on a free slot and reports the status update

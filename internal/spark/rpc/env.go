@@ -229,6 +229,41 @@ func (e *Env) initPipeline(ch *netty.Channel, server bool) {
 	}
 }
 
+// bodyFaults is the slice of an installed fault plane the rpc layer
+// consults for payload-level faults: in-flight corruption and duplicate
+// delivery. The fabric owns the plane (fabric.SetFaultPlane); probing it
+// structurally keeps the rpc layer free of a faults dependency, and an
+// installed plane that only models delays simply doesn't match.
+type bodyFaults interface {
+	CorruptBody(from, to, key string, body []byte, at vtime.Stamp) ([]byte, bool)
+	DupDeliver(from, to, key string, at vtime.Stamp) bool
+}
+
+// bodyFaultPlane returns the fabric's fault plane when it injects body
+// faults, else nil.
+func (e *Env) bodyFaultPlane() bodyFaults {
+	if p := e.node.Fabric().FaultPlane(); p != nil {
+		if bf, ok := p.(bodyFaults); ok {
+			return bf
+		}
+	}
+	return nil
+}
+
+// chanPeers returns the local and remote node names of ch's connection,
+// for fault-plane link matching ("" when unknown).
+func chanPeers(ch *netty.Channel) (local, remote string) {
+	if conn := ch.Conn(); conn != nil {
+		if n := conn.LocalNode(); n != nil {
+			local = n.Name()
+		}
+		if n := conn.RemoteNode(); n != nil {
+			remote = n.Name()
+		}
+	}
+	return
+}
+
 // messageEncoder turns typed Messages into framed byte buffers.
 type messageEncoder struct{}
 
@@ -296,7 +331,8 @@ func (h *dispatchHandler) ChannelRead(ctx *netty.Context, msg any) {
 	case *FetchBlocksRequest:
 		e.serveBatch(ch, m, vt)
 	case *BlockBatchChunk:
-		e.resolveBatchChunk(m, vt)
+		local, remote := chanPeers(ch)
+		e.resolveBatchChunk(m, vt, remote, local)
 	case *CollectiveChunk:
 		e.mu.Lock()
 		sink := e.collectiveSink
@@ -306,6 +342,16 @@ func (h *dispatchHandler) ChannelRead(ctx *netty.Context, msg any) {
 		}
 	case *PushBlockRequest:
 		e.servePush(ch, m, vt)
+		// Duplicate delivery of a push (a retransmitted request whose
+		// original also landed) exercises the service's idempotent ingest:
+		// the replay acks AckDuplicate and merges nothing.
+		if bf := e.bodyFaultPlane(); bf != nil {
+			local, remote := chanPeers(ch)
+			key := fmt.Sprintf("push_%d_%d_%d", m.ShuffleID, m.MapID, m.ReduceID)
+			if bf.DupDeliver(remote, local, key, vt) {
+				e.servePush(ch, m, vt)
+			}
+		}
 	case *StreamRequest:
 		e.serveStream(ch, m, vt)
 	case *StreamResponse:
@@ -425,6 +471,19 @@ func (e *Env) servePush(ch *netty.Channel, m *PushBlockRequest, vt vtime.Stamp) 
 		ch.Write(&RpcFailure{ReqID: m.PushID, Error: "no push handler"}, svt)
 		return
 	}
+	// In-flight corruption of the pushed body, drawn per block. The damaged
+	// copy stays local to this delivery (a duplicate delivery of the same
+	// request re-corrupts from the original, drawing the same verdict), and
+	// the carried CRC32C is what lets the service reject it at ingest.
+	if bf := e.bodyFaultPlane(); bf != nil {
+		local, remote := chanPeers(ch)
+		key := fmt.Sprintf("push_%d_%d_%d", m.ShuffleID, m.MapID, m.ReduceID)
+		if nb, ok := bf.CorruptBody(remote, local, key, m.Body, vt); ok {
+			dm := *m
+			dm.Body = nb
+			m = &dm
+		}
+	}
 	ack, err := handler(m, svt)
 	if err != nil {
 		ch.Write(&RpcFailure{ReqID: m.PushID, Error: err.Error()}, svt)
@@ -448,6 +507,15 @@ func (e *Env) serveChunk(ch *netty.Channel, m *ChunkFetchRequest, vt vtime.Stamp
 	if !ok {
 		ch.Write(&RpcFailure{ReqID: m.FetchID, Error: fmt.Sprintf("block not found: %s", m.BlockID)}, svt)
 		return
+	}
+	// In-flight corruption of the served block. CorruptBody returns a
+	// damaged copy, so the resolver's stored bytes stay good and a refetch
+	// at a later stamp can draw a clean verdict.
+	if bf := e.bodyFaultPlane(); bf != nil {
+		local, remote := chanPeers(ch)
+		if nb, ok := bf.CorruptBody(local, remote, m.BlockID, body, vt); ok {
+			body = nb
+		}
 	}
 	ch.Write(&ChunkFetchSuccess{FetchID: m.FetchID, BlockID: m.BlockID, Body: body}, svt)
 }
@@ -493,12 +561,25 @@ func (e *Env) serveBatch(ch *netty.Channel, m *FetchBlocksRequest, vt vtime.Stam
 		found:  make([]bool, len(m.BlockIDs)),
 		vt:     vt,
 	}
+	bf := e.bodyFaultPlane()
+	var local, remote string
+	if bf != nil {
+		local, remote = chanPeers(ch)
+	}
 	for i, id := range m.BlockIDs {
 		if m.MapHi > m.MapLo && rewriter != nil {
 			id = rewriter(id, int(m.MapLo), int(m.MapHi))
 		}
 		if resolver != nil {
 			b.bodies[i], b.found[i] = resolver(id)
+		}
+		// In-flight corruption, one verdict per served block (a merged run
+		// is one block: any flipped bit in it is one detectable anomaly).
+		// The damaged copy never touches the resolver's stored bytes.
+		if b.found[i] && bf != nil {
+			if nb, ok := bf.CorruptBody(local, remote, id, b.bodies[i], vt); ok {
+				b.bodies[i] = nb
+			}
 		}
 	}
 	if len(b.bodies) == 0 {
@@ -606,29 +687,57 @@ func (b *pendingBatch) failRemaining(err error) {
 	}
 }
 
-// resolveBatchChunk folds one inbound chunk into its batch. Chunks of one
-// batch arrive in order on the batch's channel (the MPI-Optimized design
-// recvs each diverted body before firing the header onward), so
-// reassembly appends; Offset is carried for cross-checking only.
-func (e *Env) resolveBatchChunk(m *BlockBatchChunk, vt vtime.Stamp) {
+// resolveBatchChunk folds one inbound chunk into its batch, then — under an
+// installed fault plane — may fold the same chunk again, modeling a
+// retransmitted frame whose original also landed. The replay must be (and
+// is) rejected by the reassembly offset guard, so duplicate delivery is
+// idempotent end to end. from/to name the sending and receiving nodes for
+// fault-plane link matching.
+func (e *Env) resolveBatchChunk(m *BlockBatchChunk, vt vtime.Stamp, from, to string) {
+	if e.foldBatchChunk(m, vt, from, to, true) {
+		e.foldBatchChunk(m, vt, from, to, false)
+	}
+}
+
+// foldBatchChunk folds one chunk into its batch's reassembly state and
+// reports whether a duplicate delivery of this chunk should be folded too
+// (verdicts are only drawn when allowDup — the replay itself must not draw
+// another). Chunks of one batch arrive in order on the batch's channel (the
+// MPI-Optimized design recvs each diverted body before firing the header
+// onward), so reassembly appends at blk.got; a chunk whose Offset is not
+// the append cursor is a replay (or corruption) and is dropped rather than
+// appended — appending it blindly would double-count duplicated bytes and
+// mark the block complete with garbage layout.
+func (e *Env) foldBatchChunk(m *BlockBatchChunk, vt vtime.Stamp, from, to string, allowDup bool) (dup bool) {
 	metrics.GetCounter("shuffle.fetch.chunks").Inc()
 	var doneCh chan struct{}
 	e.mu.Lock()
 	b := e.batches[m.BatchID]
 	if b == nil || int(m.Index) >= len(b.blocks) {
 		e.mu.Unlock()
-		return // stale chunk of an aborted batch
+		return false // stale chunk of an aborted batch
+	}
+	if allowDup {
+		if bf := e.bodyFaultPlane(); bf != nil {
+			key := fmt.Sprintf("%s@%d", b.ids[m.Index], m.Offset)
+			dup = bf.DupDeliver(from, to, key, vt)
+		}
 	}
 	blk := &b.blocks[m.Index]
 	if blk.done {
 		e.mu.Unlock()
-		return
+		return dup
 	}
 	if m.Missing {
 		blk.err = fmt.Errorf("block not found: %s", b.ids[m.Index])
 		blk.vt = vtime.Max(blk.vt, vt)
 		blk.done = true
 		b.remaining--
+	} else if m.Offset != blk.got {
+		// Replayed (or reordered) chunk: the append cursor has moved past
+		// its offset, so its bytes are already folded. Drop it.
+		e.mu.Unlock()
+		return dup
 	} else {
 		if blk.buf == nil {
 			blk.buf = bytebuf.Get(int(m.Total))
@@ -650,6 +759,7 @@ func (e *Env) resolveBatchChunk(m *BlockBatchChunk, vt vtime.Stamp) {
 	if doneCh != nil {
 		close(doneCh)
 	}
+	return dup
 }
 
 // BatchBlockResult is one block's outcome within a batched fetch: its
@@ -985,9 +1095,11 @@ func (e *Env) FetchChunk(peer fabric.Addr, blockID string, at vtime.Stamp) ([]by
 
 // PushBlock pushes one committed shuffle block to the external shuffle
 // service at peer and blocks for the ack — map tasks only report success
-// once the service owns the block. It returns the service's ack payload
-// and the virtual completion time.
-func (e *Env) PushBlock(peer fabric.Addr, shuffleID, mapID, reduceID int, body []byte, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
+// once the service owns the block. sum is the block's write-time CRC32C,
+// which the service verifies at ingest (0 disables verification, for
+// hand-built test pushes). It returns the service's ack payload and the
+// virtual completion time.
+func (e *Env) PushBlock(peer fabric.Addr, shuffleID, mapID, reduceID int, body []byte, sum uint32, at vtime.Stamp) ([]byte, vtime.Stamp, error) {
 	ch, vt, err := e.connTo(peer, at)
 	if err != nil {
 		return nil, at, err
@@ -997,7 +1109,7 @@ func (e *Env) PushBlock(peer fabric.Addr, shuffleID, mapID, reduceID int, body [
 	if !e.registerAsk(id, &pendingAsk{ch: ch, reply: reply}) {
 		return nil, at, ErrShutdown
 	}
-	ch.Write(&PushBlockRequest{PushID: id, ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID, Body: body}, vt)
+	ch.Write(&PushBlockRequest{PushID: id, ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID, Body: body, Sum: sum}, vt)
 	e.checkChannelAlive(ch)
 	r := <-reply
 	return r.data, vtime.Max(r.vt, at), r.err

@@ -40,6 +40,14 @@ func fuzzSeeds() [][]byte {
 func FuzzDecode(f *testing.F) {
 	for _, seed := range fuzzSeeds() {
 		f.Add(seed)
+		// Bit-flipped variants of every valid frame: the single-bit
+		// corruption the fault plane injects on a dirty link. Flipping
+		// every bit of the header region and a sample through the body
+		// seeds the fuzzer with exactly the frames a corrupted wire
+		// produces; Decode must reject or round-trip them, never panic.
+		for _, flipped := range bitFlips(seed) {
+			f.Add(flipped)
+		}
 	}
 	// Truncated frame and hostile length field, in addition to the
 	// committed corpus.
@@ -70,6 +78,30 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("round trip changed %s: %#v != %#v", m.Type(), m, m2)
 		}
 	})
+}
+
+// bitFlips returns copies of the frame with one bit flipped: every bit of
+// the first 24 bytes (type tag, ids, length fields) plus one bit per
+// 8-byte stride through the rest (payload corruption).
+func bitFlips(frame []byte) [][]byte {
+	var out [][]byte
+	flip := func(bit int) {
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		cp[bit/8] ^= 1 << (bit % 8)
+		out = append(out, cp)
+	}
+	head := len(frame)
+	if head > 24 {
+		head = 24
+	}
+	for bit := 0; bit < head*8; bit++ {
+		flip(bit)
+	}
+	for off := head + 8; off < len(frame); off += 8 {
+		flip(off*8 + int(frame[off])%8)
+	}
+	return out
 }
 
 // roundTripEqual compares two decoded messages, treating nil and empty

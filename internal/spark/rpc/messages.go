@@ -393,15 +393,18 @@ func (m *CollectiveChunk) Encode(buf *bytebuf.Buf) {
 
 // PushBlockRequest pushes one committed shuffle block from a map task to
 // its node-local external shuffle service. PushID correlates the service's
-// RpcResponse/RpcFailure ack. Like ChunkFetchSuccess it is a
-// MessageWithHeader: on the MPI4Spark-Optimized design the block body
-// ships over MPI in eager-threshold pieces while the header stays on the
-// socket (BodyViaMPI/BodySize/BodyTag).
+// RpcResponse/RpcFailure ack. Sum is the block's write-time CRC32C; the
+// service verifies the body against it at ingest, so a push corrupted in
+// flight is rejected before it can poison a merged run. Like
+// ChunkFetchSuccess it is a MessageWithHeader: on the MPI4Spark-Optimized
+// design the block body ships over MPI in eager-threshold pieces while the
+// header stays on the socket (BodyViaMPI/BodySize/BodyTag).
 type PushBlockRequest struct {
 	PushID     int64
 	ShuffleID  int
 	MapID      int
 	ReduceID   int
+	Sum        uint32
 	Body       []byte
 	BodyViaMPI bool
 	BodySize   int
@@ -413,7 +416,7 @@ func (m *PushBlockRequest) Type() MsgType { return TypePushBlock }
 
 // WireSize implements Message.
 func (m *PushBlockRequest) WireSize() int {
-	n := 1 + 8 + 4 + 4 + 4
+	n := 1 + 8 + 4 + 4 + 4 + 4
 	if m.BodyViaMPI {
 		return n + 1 + 8 + 8
 	}
@@ -427,6 +430,7 @@ func (m *PushBlockRequest) Encode(buf *bytebuf.Buf) {
 	buf.WriteUint32(uint32(m.ShuffleID))
 	buf.WriteUint32(uint32(m.MapID))
 	buf.WriteUint32(uint32(m.ReduceID))
+	buf.WriteUint32(m.Sum)
 	if m.BodyViaMPI {
 		buf.WriteByte(1)
 		buf.WriteUint64(uint64(m.BodySize))
@@ -669,6 +673,9 @@ func Decode(buf *bytebuf.Buf) (Message, error) {
 			return nil, err
 		}
 		m.ReduceID = int(v)
+		if m.Sum, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
 		if err := decodeBody(buf, &m.Body, &m.BodyViaMPI, &m.BodySize, &m.BodyTag); err != nil {
 			return nil, err
 		}

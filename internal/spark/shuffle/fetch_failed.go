@@ -60,16 +60,23 @@ type RetryPolicy struct {
 	// whose block arrives later than the deadline counts as a timeout and
 	// is retried; 0 disables the deadline.
 	FetchDeadline time.Duration
+	// JitterFrac spreads retry backoffs: each retry waits an extra uniform
+	// duration in [0, JitterFrac*backoff), drawn deterministically from the
+	// block id and attempt number. Without it, every reducer that lost a
+	// block to the same link flap retries on the same exponential schedule
+	// and stampedes the peer in lockstep; 0 disables jitter.
+	JitterFrac float64
 }
 
 // DefaultRetryPolicy matches Spark's shipped defaults scaled to the
 // simulation's microsecond fabric: 3 retries, exponential backoff from
-// 200µs, 100ms per-attempt deadline.
+// 200µs with half-backoff jitter, 100ms per-attempt deadline.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{
 		MaxRetries:    3,
 		RetryWait:     200 * time.Microsecond,
 		FetchDeadline: 100 * time.Millisecond,
+		JitterFrac:    0.5,
 	}
 }
 
@@ -80,4 +87,28 @@ func (p RetryPolicy) backoff(retry int) time.Duration {
 		return 0
 	}
 	return p.RetryWait << uint(retry-1)
+}
+
+// jitter returns the extra deterministic wait before the given retry of
+// the given block: a uniform draw over [0, JitterFrac*backoff) hashed from
+// (key, retry). Two reducers retrying the same peer after one flap decor-
+// relate because their block ids differ; the same reducer re-running the
+// same schedule draws identical jitter, keeping virtual time reproducible.
+func (p RetryPolicy) jitter(key string, retry int) time.Duration {
+	if p.JitterFrac <= 0 {
+		return 0
+	}
+	max := time.Duration(p.JitterFrac * float64(p.backoff(retry)))
+	if max <= 0 {
+		return 0
+	}
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	h ^= uint64(retry)
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return time.Duration(h % uint64(max))
 }

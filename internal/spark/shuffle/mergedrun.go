@@ -65,25 +65,31 @@ func RewriteMergedRange(id string, mapLo, mapHi int) string {
 	return id
 }
 
-// MergedEntry is one map task's contribution inside a merged run.
+// MergedEntry is one map task's contribution inside a merged run. Sum is
+// the CRC32C of Data, verified at push time and carried in the run header
+// so reducers can verify each entry — including entries of a
+// RewriteMergedRange slice, whose re-encoded subset keeps the per-entry
+// sums — without a second tracker round trip.
 type MergedEntry struct {
 	MapID int
+	Sum   uint32
 	Data  []byte
 }
 
 // EncodeMergedRun frames a locality-sorted merged run: an entry count
-// followed by (mapID, length, bytes) triples in the order given. The
+// followed by (mapID, sum, length, bytes) quads in the order given. The
 // service sorts entries by map id before encoding so reducers consume one
 // sequential run instead of per-map random reads.
 func EncodeMergedRun(entries []MergedEntry) []byte {
 	n := 4
 	for _, e := range entries {
-		n += 4 + 8 + len(e.Data)
+		n += 4 + 4 + 8 + len(e.Data)
 	}
 	buf := bytebuf.New(n)
 	buf.WriteUint32(uint32(len(entries)))
 	for _, e := range entries {
 		buf.WriteUint32(uint32(e.MapID))
+		buf.WriteUint32(e.Sum)
 		buf.WriteUint64(uint64(len(e.Data)))
 		buf.WriteBytes(e.Data)
 	}
@@ -98,9 +104,9 @@ func DecodeMergedRun(data []byte) ([]MergedEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Each entry occupies at least its 12-byte header; reject counts the
+	// Each entry occupies at least its 16-byte header; reject counts the
 	// frame cannot possibly hold before allocating.
-	if int64(count)*12 > int64(buf.ReadableBytes()) {
+	if int64(count)*16 > int64(buf.ReadableBytes()) {
 		return nil, fmt.Errorf("shuffle: merged run claims %d entries in %d bytes", count, buf.ReadableBytes())
 	}
 	entries := make([]MergedEntry, 0, count)
@@ -111,6 +117,9 @@ func DecodeMergedRun(data []byte) ([]MergedEntry, error) {
 			return nil, err
 		}
 		e.MapID = int(id)
+		if e.Sum, err = buf.ReadUint32(); err != nil {
+			return nil, err
+		}
 		n, err := buf.ReadUint64()
 		if err != nil {
 			return nil, err

@@ -74,14 +74,28 @@ func TestDecodeMergedRunRejects(t *testing.T) {
 // on when it caches an encoded run and reducers decode it remotely.
 func FuzzDecodeMergedRun(f *testing.F) {
 	f.Add(shuffle.EncodeMergedRun(nil))
-	f.Add(shuffle.EncodeMergedRun([]shuffle.MergedEntry{
+	valid := shuffle.EncodeMergedRun([]shuffle.MergedEntry{
 		{MapID: 0, Data: []byte("block-a")},
 		{MapID: 3, Data: nil},
 		{MapID: 5, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+	})
+	f.Add(valid)
+	f.Add(shuffle.EncodeMergedRun([]shuffle.MergedEntry{
+		{MapID: 1, Sum: shuffle.Checksum([]byte("summed")), Data: []byte("summed")},
 	}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 5})
+	// Every single-bit flip of a valid run: the corruption the fault plane
+	// injects in flight. Decode must reject or round-trip each, and the
+	// carried per-entry sums are what let the reader catch payload flips
+	// that remain structurally valid.
+	for bit := 0; bit < len(valid)*8; bit++ {
+		cp := make([]byte, len(valid))
+		copy(cp, valid)
+		cp[bit/8] ^= 1 << (bit % 8)
+		f.Add(cp)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		entries, err := shuffle.DecodeMergedRun(data)
@@ -98,6 +112,7 @@ func FuzzDecodeMergedRun(f *testing.F) {
 		}
 		for i := range entries {
 			if again[i].MapID != entries[i].MapID ||
+				again[i].Sum != entries[i].Sum ||
 				!reflect.DeepEqual(normEntryBytes(again[i].Data), normEntryBytes(entries[i].Data)) {
 				t.Fatalf("round trip changed entry %d", i)
 			}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mpi4spark/internal/metrics"
+	"mpi4spark/internal/obs"
 	"mpi4spark/internal/spark/storage"
 	"mpi4spark/internal/vtime"
 )
@@ -38,7 +39,32 @@ type Manager struct {
 	// requests per reduce task (a single batch larger than the budget is
 	// still allowed to fly alone).
 	MaxBytesInFlight int64
+	// BreakerThreshold trips the per-peer circuit breaker after that many
+	// consecutive failed attempts against one peer (0 disables the
+	// threshold).
+	BreakerThreshold int
+	// RetryBudget trips the breaker once more than that many failures have
+	// been charged against one peer since its last success (0 disables the
+	// budget).
+	RetryBudget int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe (defaults to defaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Bus receives BlockCorrupt events on checksum mismatches (nil-safe).
+	Bus *obs.Bus
+
+	brMu    sync.Mutex
+	brPeers map[string]*peerState
 }
+
+// Default per-peer circuit-breaker knobs: trip after 12 consecutive
+// failures against one peer, or once 24 failures have been charged since
+// its last success — both comfortably above one block's full retry
+// schedule, so the breaker only opens when a peer is failing broadly.
+const (
+	DefaultBreakerThreshold = 12
+	DefaultRetryBudget      = 24
+)
 
 // NewManager creates a shuffle manager over the executor's block manager.
 func NewManager(bm *storage.BlockManager) *Manager {
@@ -49,19 +75,25 @@ func NewManager(bm *storage.BlockManager) *Manager {
 		Retry:              DefaultRetryPolicy(),
 		ChunkBytes:         DefaultChunkBytes,
 		MaxBytesInFlight:   DefaultMaxBytesInFlight,
+		BreakerThreshold:   DefaultBreakerThreshold,
+		RetryBudget:        DefaultRetryBudget,
 	}
 }
 
 // WriteMapOutput stores the partitioned, serialized output of one map task
 // (parts[r] is the block destined for reducer r) and returns the MapStatus
-// to register with the driver. loc identifies the owning executor.
+// to register with the driver. loc identifies the owning executor. Every
+// partition's CRC32C is computed here, at the only moment the bytes are
+// known good, and travels with the status.
 func (m *Manager) WriteMapOutput(shuffleID, mapID int, parts [][]byte, loc Location) *MapStatus {
 	sizes := make([]int64, len(parts))
+	sums := make([]uint32, len(parts))
 	for r, p := range parts {
 		m.bm.Put(storage.ShuffleBlockID(shuffleID, mapID, r), p)
 		sizes[r] = int64(len(p))
+		sums[r] = Checksum(p)
 	}
-	return &MapStatus{Loc: loc, Sizes: sizes}
+	return &MapStatus{Loc: loc, Sizes: sizes, Sums: sums}
 }
 
 // FetchResult is one fetched shuffle block.
@@ -78,12 +110,16 @@ type FetchResult struct {
 	Release func()
 }
 
-// remoteBlock is one block of a per-peer batch.
+// remoteBlock is one block of a per-peer batch. sum is the write-time
+// CRC32C from the map status; hasSum distinguishes "expected sum is zero"
+// from "status carried no sums" (hand-built statuses in older tests).
 type remoteBlock struct {
 	mapID   int
 	blockID storage.BlockID
 	size    int64
 	loc     Location
+	sum     uint32
+	hasSum  bool
 }
 
 // FetchShuffleParts retrieves every map output destined for reduceID:
@@ -219,9 +255,14 @@ func (m *Manager) FetchShuffleRange(
 		if _, ok := groups[st.Loc.ExecID]; !ok {
 			peerOrder = append(peerOrder, st.Loc.ExecID)
 		}
-		groups[st.Loc.ExecID] = append(groups[st.Loc.ExecID], remoteBlock{
+		blk := remoteBlock{
 			mapID: mapID, blockID: blockID, size: st.Sizes[reduceID], loc: st.Loc,
-		})
+		}
+		if reduceID < len(st.Sums) {
+			blk.sum = st.Sums[reduceID]
+			blk.hasSum = true
+		}
+		groups[st.Loc.ExecID] = append(groups[st.Loc.ExecID], blk)
 	}
 
 	// Pass 2: one batched request per peer, admitted by the byte budget.
@@ -297,7 +338,14 @@ func (m *Manager) fetchBatch(
 	}
 	metrics.GetCounter("shuffle.fetch.requests").Inc()
 	metrics.GetCounter("shuffle.fetch.batched_blocks").Add(int64(len(blocks)))
-	rs, _, err := bts.FetchBatch(blocks[0].loc, ids, m.ChunkBytes, at)
+	var rs []BatchResult
+	var err error
+	if err = m.breakerAllow(blocks[0].loc.ExecID, at); err == nil {
+		rs, _, err = bts.FetchBatch(blocks[0].loc, ids, m.ChunkBytes, at)
+		if err != nil {
+			m.breakerFailure(blocks[0].loc.ExecID, at)
+		}
+	}
 	if err != nil {
 		// Request never flew: every block takes the individual retry path.
 		rs = make([]BatchResult, len(blocks))
@@ -306,10 +354,25 @@ func (m *Manager) fetchBatch(
 		}
 	}
 	for i, blk := range blocks {
+		r := rs[i]
+		// Integrity first, before the deadline can discard the body: a
+		// corrupt block that also arrived late must still be counted as a
+		// detected corruption, or injected and detected counts diverge.
+		if r.Err == nil {
+			if verr := m.verifyBlock(shuffleID, reduceID, blk, r.Data, r.VT); verr != nil {
+				metrics.GetCounter(CounterIntegrityRefetches).Inc()
+				if r.Release != nil {
+					r.Release()
+				}
+				r = BatchResult{VT: r.VT, Err: verr}
+			}
+		}
 		if abortedNow() {
+			if r.Err == nil && r.Release != nil {
+				r.Release()
+			}
 			return
 		}
-		r := rs[i]
 		if r.Err == nil && m.Retry.FetchDeadline > 0 && r.VT > at.Add(m.Retry.FetchDeadline) {
 			// The block arrived past the attempt's budget: the real
 			// fetcher would have timed the request out and retried.
@@ -323,6 +386,7 @@ func (m *Manager) fetchBatch(
 			}
 		}
 		if r.Err == nil {
+			m.breakerSuccess(blk.loc.ExecID)
 			observe(r.VT)
 			metrics.GetCounter("shuffle.fetch.bytes_remote").Add(int64(len(r.Data)))
 			results[blk.mapID] = FetchResult{MapID: blk.mapID, Data: r.Data, Release: r.Release}
@@ -330,7 +394,8 @@ func (m *Manager) fetchBatch(
 		}
 		// Per-block fallback: the batch attempt counts as attempt zero, so
 		// the retry budget and backoff schedule match the unbatched path.
-		data, vt, err := m.fetchWithRetry(bts, blk.loc, blk.blockID, vtime.Max(at, r.VT), abortedNow, r.Err)
+		data, vt, err := m.fetchWithRetry(bts, blk.loc, blk.blockID, vtime.Max(at, r.VT), abortedNow, r.Err,
+			func(d []byte, vt vtime.Stamp) error { return m.verifyBlock(shuffleID, reduceID, blk, d, vt) })
 		if err != nil {
 			metrics.GetCounter("shuffle.fetch.failures").Inc()
 			fail(&FetchFailedError{
@@ -343,6 +408,32 @@ func (m *Manager) fetchBatch(
 		metrics.GetCounter("shuffle.fetch.bytes_remote").Add(int64(len(data)))
 		results[blk.mapID] = FetchResult{MapID: blk.mapID, Data: data}
 	}
+}
+
+// verifyBlock checks a landed remote block against the CRC32C its map task
+// recorded at write time. Statuses without sums (hand-built fixtures) pass
+// unchecked. A mismatch counts, emits a BlockCorrupt event, and returns a
+// retryable CorruptBlockError.
+func (m *Manager) verifyBlock(shuffleID, reduceID int, blk remoteBlock, data []byte, vt vtime.Stamp) error {
+	if !blk.hasSum {
+		return nil
+	}
+	metrics.GetCounter(CounterIntegrityChecked).Inc()
+	got := Checksum(data)
+	if got == blk.sum {
+		return nil
+	}
+	metrics.GetCounter(CounterCorruptDetected).Inc()
+	err := &CorruptBlockError{
+		ShuffleID: shuffleID, MapID: blk.mapID, ReduceID: reduceID,
+		Loc: blk.loc, Want: blk.sum, Got: got,
+	}
+	m.Bus.Emit(obs.Event{
+		Type: obs.EvBlockCorrupt, VT: vt,
+		ShuffleID: shuffleID, MapID: blk.mapID, ReduceID: reduceID,
+		Executor: blk.loc.ExecID, Err: err.Error(),
+	})
+	return err
 }
 
 // fetchMergedRun fetches the service-side merged run covering every block
@@ -396,21 +487,62 @@ func (m *Manager) fetchMergedRun(
 	if r.Release != nil {
 		r.Release()
 	}
+	// With write-time sums for the whole group, every anomaly in a landed
+	// run — a frame that no longer decodes, a requested map id that went
+	// missing (a flipped id field), a sum header or payload that disagrees
+	// with the tracker's expectation — is a detected corruption: by reduce
+	// time every push has been acked, so a clean run decodes completely.
+	// Counting exactly one detection per landed frame keeps injected and
+	// detected counts reconciled; the per-block fallback then re-verifies
+	// each block individually.
+	sumsKnown := true
+	for _, blk := range blocks {
+		if !blk.hasSum {
+			sumsKnown = false
+			break
+		}
+	}
+	anomaly := func(cause error) bool {
+		if !sumsKnown {
+			return false
+		}
+		metrics.GetCounter(CounterCorruptDetected).Inc()
+		metrics.GetCounter(CounterIntegrityRefetches).Inc()
+		m.Bus.Emit(obs.Event{
+			Type: obs.EvBlockCorrupt, VT: r.VT,
+			ShuffleID: shuffleID, ReduceID: reduceID,
+			Executor: blocks[0].loc.ExecID, Err: cause.Error(),
+		})
+		return true
+	}
 	if derr != nil {
+		anomaly(derr)
 		return false
 	}
-	byMap := make(map[int][]byte, len(entries))
+	byMap := make(map[int]MergedEntry, len(entries))
 	for _, e := range entries {
-		byMap[e.MapID] = e.Data
+		byMap[e.MapID] = e
 	}
 	for _, blk := range blocks {
-		if _, ok := byMap[blk.mapID]; !ok {
+		e, ok := byMap[blk.mapID]
+		if !ok {
+			anomaly(fmt.Errorf("merged run from %s missing map %d", blocks[0].loc.ExecID, blk.mapID))
 			return false
+		}
+		if blk.hasSum {
+			metrics.GetCounter(CounterIntegrityChecked).Inc()
+			if e.Sum != blk.sum || Checksum(e.Data) != blk.sum {
+				anomaly(&CorruptBlockError{
+					ShuffleID: shuffleID, MapID: blk.mapID, ReduceID: reduceID,
+					Loc: blocks[0].loc, Want: blk.sum, Got: Checksum(e.Data),
+				})
+				return false
+			}
 		}
 	}
 	var bytes int64
 	for _, blk := range blocks {
-		data := byMap[blk.mapID]
+		data := byMap[blk.mapID].Data
 		results[blk.mapID] = FetchResult{MapID: blk.mapID, Data: data}
 		bytes += int64(len(data))
 	}
@@ -422,11 +554,18 @@ func (m *Manager) fetchMergedRun(
 
 // fetchWithRetry runs one block fetch under the manager's RetryPolicy.
 // Backoff and deadline accounting advance the attempt's virtual-time
-// stamp only — no wall-clock sleeping — so the schedule is deterministic.
-// A non-nil prevErr records an attempt that already failed (the batched
-// request), so retrying starts at attempt one with its backoff. giveUp
-// short-circuits remaining retries once a sibling fetch has already
-// declared a block lost.
+// stamp only — no wall-clock sleeping — so the schedule is deterministic;
+// each backoff carries deterministic jitter so sibling reducers retrying
+// one peer after a flap decorrelate instead of stampeding. A non-nil
+// prevErr records an attempt that already failed (the batched request), so
+// retrying starts at attempt one with its backoff. giveUp short-circuits
+// remaining retries once a sibling fetch has already declared a block
+// lost. verify (nil = none) checks a landed body — before the deadline
+// check, so a late corrupt block still counts as detected — and its error
+// is retried like any other failure: a refetch at a later stamp draws
+// fresh network verdicts. Every attempt passes the per-peer circuit
+// breaker; a tripped breaker fails the fetch fast onto the degradation
+// chain (FetchFailedError, service blacklist, map-stage recompute).
 func (m *Manager) fetchWithRetry(
 	bts BlockTransferService,
 	loc Location,
@@ -434,6 +573,7 @@ func (m *Manager) fetchWithRetry(
 	at vtime.Stamp,
 	giveUp func() bool,
 	prevErr error,
+	verify func([]byte, vtime.Stamp) error,
 ) ([]byte, vtime.Stamp, error) {
 	p := m.Retry
 	attemptAt := at
@@ -447,25 +587,47 @@ func (m *Manager) fetchWithRetry(
 			if attempt > p.MaxRetries || giveUp() {
 				break
 			}
-			// Exponential backoff in virtual time.
-			attemptAt = attemptAt.Add(p.backoff(attempt))
+			// Exponential backoff in virtual time, plus deterministic
+			// anti-stampede jitter.
+			wait := p.backoff(attempt)
+			if j := p.jitter(string(blockID), attempt); j > 0 {
+				metrics.GetCounter(CounterRetryJitterVT).Add(int64(j))
+				wait += j
+			}
+			attemptAt = attemptAt.Add(wait)
 			metrics.GetCounter("shuffle.fetch.retries").Inc()
+		}
+		if berr := m.breakerAllow(loc.ExecID, attemptAt); berr != nil {
+			lastErr = berr
+			break
 		}
 		metrics.GetCounter("shuffle.fetch.requests").Inc()
 		data, vt, err := bts.Fetch(loc, blockID, attemptAt)
 		if err != nil {
+			m.breakerFailure(loc.ExecID, attemptAt)
 			lastErr = err
 			attemptAt = vtime.Max(attemptAt, vt)
 			continue
+		}
+		if verify != nil {
+			if verr := verify(data, vt); verr != nil {
+				metrics.GetCounter(CounterIntegrityRefetches).Inc()
+				m.breakerFailure(loc.ExecID, attemptAt)
+				lastErr = verr
+				attemptAt = vtime.Max(attemptAt, vt)
+				continue
+			}
 		}
 		if p.FetchDeadline > 0 && vt > attemptAt.Add(p.FetchDeadline) {
 			// The block arrived past the attempt's budget: the real
 			// fetcher would have timed the request out and retried.
 			metrics.GetCounter("shuffle.fetch.timeouts").Inc()
+			m.breakerFailure(loc.ExecID, attemptAt)
 			lastErr = fmt.Errorf("fetch %s from %s exceeded deadline %v", blockID, loc.ExecID, p.FetchDeadline)
 			attemptAt = attemptAt.Add(p.FetchDeadline)
 			continue
 		}
+		m.breakerSuccess(loc.ExecID)
 		return data, vt, nil
 	}
 	if lastErr == nil {

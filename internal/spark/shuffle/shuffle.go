@@ -27,11 +27,15 @@ type Location struct {
 	Service bool
 }
 
-// MapStatus records one completed map task's output: where it is and the
-// per-reduce-partition block sizes.
+// MapStatus records one completed map task's output: where it is, the
+// per-reduce-partition block sizes, and the per-partition CRC32C checksums
+// computed at write time. Sums travel with the status through the tracker
+// so every reducer can verify each fetched block end to end; Sums[r] of an
+// empty partition is 0 (the CRC32C of zero bytes).
 type MapStatus struct {
 	Loc   Location
 	Sizes []int64
+	Sums  []uint32
 }
 
 // locFlagService marks a service-hosted location in the encoded status.
@@ -54,6 +58,10 @@ func (m *MapStatus) Encode(buf *bytebuf.Buf) {
 	buf.WriteUint32(uint32(len(m.Sizes)))
 	for _, s := range m.Sizes {
 		buf.WriteInt64(s)
+	}
+	buf.WriteUint32(uint32(len(m.Sums)))
+	for _, s := range m.Sums {
+		buf.WriteUint32(s)
 	}
 }
 
@@ -82,6 +90,19 @@ func DecodeMapStatus(buf *bytebuf.Buf) (*MapStatus, error) {
 	m.Sizes = make([]int64, n)
 	for i := range m.Sizes {
 		if m.Sizes[i], err = buf.ReadInt64(); err != nil {
+			return nil, err
+		}
+	}
+	ns, err := buf.ReadUint32()
+	if err != nil {
+		return nil, err
+	}
+	if ns > n {
+		return nil, fmt.Errorf("shuffle: status carries %d sums for %d partitions", ns, n)
+	}
+	m.Sums = make([]uint32, ns)
+	for i := range m.Sums {
+		if m.Sums[i], err = buf.ReadUint32(); err != nil {
 			return nil, err
 		}
 	}

@@ -159,7 +159,7 @@ func pushMapOutput(t testing.TB, p *svcPeer, shuffleID, mapID int, parts [][]byt
 		if len(part) == 0 {
 			continue
 		}
-		ack, _, err := p.env.PushBlock(p.svc.Addr(), shuffleID, mapID, r, part, 0)
+		ack, _, err := p.env.PushBlock(p.svc.Addr(), shuffleID, mapID, r, part, shuffle.Checksum(part), 0)
 		if err != nil {
 			t.Fatalf("push %d/%d/%d: %v", shuffleID, mapID, r, err)
 		}
@@ -314,7 +314,7 @@ func TestServiceDuplicatePush(t *testing.T) {
 
 		before := metrics.Snapshot()
 		st := pushMapOutput(t, p, shuffleID, 0, [][]byte{block})
-		ack, _, err := p.env.PushBlock(p.svc.Addr(), shuffleID, 0, 0, block, 0)
+		ack, _, err := p.env.PushBlock(p.svc.Addr(), shuffleID, 0, 0, block, shuffle.Checksum(block), 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -36,7 +36,7 @@ func TestServiceConcurrentPushers(t *testing.T) {
 				mapID := g*perPusher + i
 				block := svcBlock(mapID, reduceID, blockLen)
 				for attempt := 0; attempt < 2; attempt++ { // second push is a duplicate
-					if _, err := svc.Push(shuffleID, mapID, reduceID, block, 0); err != nil {
+					if _, err := svc.Push(shuffleID, mapID, reduceID, block, shuffle.Checksum(block), 0); err != nil {
 						t.Error(err)
 						return
 					}

@@ -55,6 +55,7 @@ type mergeKey struct {
 // the encoded merged run.
 type mergeState struct {
 	entries map[int][]byte // mapID -> block bytes
+	sums    map[int]uint32 // mapID -> ingest-verified CRC32C
 	run     []byte         // cached encoded run; nil until first merge
 	payload int            // payload bytes inside run
 	counted int            // payload bytes already counted as merged
@@ -133,13 +134,29 @@ func (s *Service) SetMergeEnabled(on bool) { s.mergeEnabled.Store(on) }
 
 // HandlePush adapts Push to the rpc.Env push-handler signature.
 func (s *Service) HandlePush(m *rpc.PushBlockRequest, vt vtime.Stamp) ([]byte, error) {
-	return s.Push(m.ShuffleID, m.MapID, m.ReduceID, m.Body, vt)
+	return s.Push(m.ShuffleID, m.MapID, m.ReduceID, m.Body, m.Sum, vt)
 }
 
-// Push ingests one committed map-output block. Re-pushing a block the
-// service already holds is idempotent: it acks AckDuplicate and counts
-// nothing, so a map-task retry cannot double-merge its output.
-func (s *Service) Push(shuffleID, mapID, reduceID int, body []byte, vt vtime.Stamp) ([]byte, error) {
+// Push ingests one committed map-output block. The body is verified
+// against the writer's CRC32C at ingest — a push corrupted in flight is
+// rejected before it can poison the merged run, and the rejection fails
+// the map task's push so the normal task retry re-sends it. Re-pushing a
+// block the service already holds is idempotent: it acks AckDuplicate and
+// counts nothing, so a map-task retry cannot double-merge its output.
+func (s *Service) Push(shuffleID, mapID, reduceID int, body []byte, sum uint32, vt vtime.Stamp) ([]byte, error) {
+	if sum != 0 && shuffle.Checksum(body) != sum {
+		metrics.GetCounter(shuffle.CounterCorruptDetected).Add(1)
+		s.bus.Load().Emit(obs.Event{
+			Type: obs.EvBlockCorrupt, VT: vt,
+			ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID,
+			Executor: s.id,
+			Err:      "push body checksum mismatch",
+		})
+		return nil, &shuffle.CorruptBlockError{
+			ShuffleID: shuffleID, MapID: mapID, ReduceID: reduceID,
+			Want: sum, Got: shuffle.Checksum(body),
+		}
+	}
 	id := storage.ShuffleBlockID(shuffleID, mapID, reduceID)
 	key := mergeKey{shuffle: shuffleID, reduce: reduceID}
 	s.mu.Lock()
@@ -150,10 +167,11 @@ func (s *Service) Push(shuffleID, mapID, reduceID int, body []byte, vt vtime.Sta
 	s.bm.Put(id, body)
 	ms := s.merges[key]
 	if ms == nil {
-		ms = &mergeState{entries: make(map[int][]byte)}
+		ms = &mergeState{entries: make(map[int][]byte), sums: make(map[int]uint32)}
 		s.merges[key] = ms
 	}
 	ms.entries[mapID] = body
+	ms.sums[mapID] = sum
 	ms.dirty = true
 	s.mu.Unlock()
 	metrics.GetCounter(CounterPushedBytes).Add(int64(len(body)))
@@ -235,7 +253,7 @@ func (s *Service) mergedRun(shuffleID, reduceID int) (run []byte, payload int, o
 		entries := make([]shuffle.MergedEntry, len(mapIDs))
 		total := 0
 		for i, id := range mapIDs {
-			entries[i] = shuffle.MergedEntry{MapID: id, Data: ms.entries[id]}
+			entries[i] = shuffle.MergedEntry{MapID: id, Sum: ms.sums[id], Data: ms.entries[id]}
 			total += len(ms.entries[id])
 		}
 		ms.run = shuffle.EncodeMergedRun(entries)
@@ -285,7 +303,7 @@ func (s *Service) rangedRun(shuffleID, reduceID, mapLo, mapHi int) (run []byte, 
 	entries := make([]shuffle.MergedEntry, len(mapIDs))
 	total := 0
 	for i, id := range mapIDs {
-		entries[i] = shuffle.MergedEntry{MapID: id, Data: ms.entries[id]}
+		entries[i] = shuffle.MergedEntry{MapID: id, Sum: ms.sums[id], Data: ms.entries[id]}
 		total += len(ms.entries[id])
 	}
 	return shuffle.EncodeMergedRun(entries), total, true

@@ -57,6 +57,25 @@ func DefaultConfig() Config {
 // Resolver maps a block id to its bytes.
 type Resolver func(blockID string) ([]byte, bool)
 
+// bodyFaults is the slice of an installed fabric fault plane UCR consults
+// for payload-level faults, probed structurally so the package carries no
+// faults dependency.
+type bodyFaults interface {
+	CorruptBody(from, to, key string, body []byte, at vtime.Stamp) ([]byte, bool)
+	DupDeliver(from, to, key string, at vtime.Stamp) bool
+}
+
+// bodyFaultPlane returns the server fabric's fault plane when it injects
+// body faults, else nil.
+func (s *Server) bodyFaultPlane() bodyFaults {
+	if p := s.dev.Node().Fabric().FaultPlane(); p != nil {
+		if bf, ok := p.(bodyFaults); ok {
+			return bf
+		}
+	}
+	return nil
+}
+
 // Server serves block fetches over UCR.
 type Server struct {
 	dev     *rdma.Device
@@ -177,6 +196,16 @@ func (s *Server) serve(sc *serverConn) {
 			}
 			continue
 		}
+		// In-flight corruption, one verdict per served block. CorruptBody
+		// returns a damaged copy, so the resolver's stored bytes stay good
+		// and a refetch at a later stamp draws a fresh verdict.
+		bf := s.bodyFaultPlane()
+		from, to := s.dev.Node().Name(), sc.qp.RemoteNode().Name()
+		if bf != nil {
+			if nb, c := bf.CorruptBody(from, to, blockID, data, vt); c {
+				data = nb
+			}
+		}
 		var served time.Duration
 		if s.cfg.RegisterPerFetch {
 			_, regDone := s.dev.RegisterMemory(data, vt)
@@ -200,6 +229,18 @@ func (s *Server) serve(sc *serverConn) {
 			cpuFree, err := sc.qp.PostSend(payload, vt)
 			if err != nil {
 				return
+			}
+			// Duplicate delivery of a mid-stream chunk (a retransmit whose
+			// original also landed); the client's append-cursor guard must
+			// drop the replay. A block's final chunk is never duplicated:
+			// the header carries no stream id, so a trailing replay would be
+			// indistinguishable from the next block's first chunk.
+			if bf != nil && end < len(data) {
+				if bf.DupDeliver(from, to, fmt.Sprintf("%s@%d", blockID, off), vt) {
+					if _, err := sc.qp.PostSend(payload, vt); err != nil {
+						return
+					}
+				}
 			}
 			if cpuFree > vt {
 				// The injection-side CPU time holds the engine too.
@@ -270,12 +311,19 @@ func (c *Client) FetchBlock(blockID string, at vtime.Stamp) ([]byte, vtime.Stamp
 		if total == ^uint64(0) {
 			return nil, vtime.Max(vt, comp.VT), fmt.Errorf("%w: %s", ErrNotFound, blockID)
 		}
+		if chunkHeaderLen+int(n) > len(comp.Data) || off+uint64(n) > total {
+			return nil, vt, fmt.Errorf("ucr: malformed chunk for %s: off %d + n %d vs total %d, frame %d",
+				blockID, off, n, total, len(comp.Data))
+		}
+		vt = vtime.Max(vt, comp.VT)
+		if off != got {
+			continue // replayed chunk: reassembly appends at got, bytes already folded
+		}
 		if out == nil {
 			out = make([]byte, total)
 		}
 		copy(out[off:], comp.Data[chunkHeaderLen:chunkHeaderLen+int(n)])
 		got += uint64(n)
-		vt = vtime.Max(vt, comp.VT)
 		if got >= total {
 			return out, vt, nil
 		}
@@ -339,6 +387,14 @@ func (c *Client) FetchBlocks(blockIDs []string, at vtime.Stamp) ([]BlockResult, 
 			if total == ^uint64(0) {
 				results[i] = BlockResult{VT: vt, Err: fmt.Errorf("%w: %s", ErrNotFound, blockIDs[i])}
 				break
+			}
+			if chunkHeaderLen+int(n) > len(comp.Data) || off+uint64(n) > total {
+				results[i] = BlockResult{VT: vt, Err: fmt.Errorf("ucr: malformed chunk for %s: off %d + n %d vs total %d, frame %d",
+					blockIDs[i], off, n, total, len(comp.Data))}
+				break
+			}
+			if off != got {
+				continue // replayed chunk: reassembly appends at got, bytes already folded
 			}
 			if out == nil {
 				out = make([]byte, total)
