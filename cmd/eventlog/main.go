@@ -44,6 +44,9 @@ func main() {
 		report.BreakdownTable(),
 		report.CriticalPathTable(),
 	}
+	if len(report.Batches) > 0 {
+		tables = append(tables, report.BatchTable())
+	}
 	if *summary {
 		local, remote := report.Totals()
 		t := &metrics.Table{
@@ -66,6 +69,14 @@ func main() {
 		t.AddRow("service pushed bytes", report.PushedBytes)
 		t.AddRow("service merged bytes", report.MergedBytes)
 		t.AddRow("service served bytes", report.ServedBytes)
+		if len(report.Batches) > 0 {
+			var events int64
+			for _, b := range report.Batches {
+				events += b.Events
+			}
+			t.AddRow("streaming batches", len(report.Batches))
+			t.AddRow("streaming events ingested", events)
+		}
 		tables = append(tables, t)
 	}
 	for _, t := range tables {

@@ -24,8 +24,8 @@ import (
 
 func main() {
 	var (
-		exp            = flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|fig12c|headline|chaos|skew|netchaos|all")
-		eventLogDir    = flag.String("eventlog-dir", "", "chaos/skew/netchaos: also record one JSONL event log per run in this directory")
+		exp            = flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|fig12c|headline|chaos|skew|netchaos|streaming|all")
+		eventLogDir    = flag.String("eventlog-dir", "", "chaos/skew/netchaos/streaming: also record one JSONL event log per run in this directory")
 		bench          = flag.String("bench", "GroupBy", "OHB benchmark for fig10/fig11: GroupBy|SortBy")
 		workers        = flag.Int("workers", 4, "base worker count (fig9/fig12)")
 		workerCounts   = flag.String("worker-counts", "2,4,8", "scaling sweep worker counts (fig10/fig11)")
@@ -118,6 +118,10 @@ func main() {
 			emit(t, *markdown)
 		case "netchaos":
 			_, t, err := harness.RunNetChaosTable(o, *eventLogDir)
+			check(err)
+			emit(t, *markdown)
+		case "streaming":
+			_, t, err := harness.RunStreamingTable(o, *eventLogDir)
 			check(err)
 			emit(t, *markdown)
 		default:

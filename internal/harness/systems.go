@@ -173,6 +173,11 @@ func BuildCluster(spec ClusterSpec) (*Cluster, error) {
 	sparkCfg.AdaptiveExecution = spec.Adaptive
 	sparkCfg.AdaptiveSkewThreshold = spec.AdaptiveSkewThreshold
 	sparkCfg.AdaptiveTargetBytes = spec.AdaptiveTargetBytes
+	if spec.Adaptive && sparkCfg.AdaptiveTargetBytes <= 0 {
+		// Config.Validate rejects adaptive execution without a byte
+		// target; a zero in the spec keeps the spark default.
+		sparkCfg.AdaptiveTargetBytes = spark.DefaultAdaptiveTargetBytes
+	}
 	sparkCfg.Speculation = spec.Speculation
 	sparkCfg.SpeculationMultiplier = spec.SpeculationMultiplier
 	if spec.Supervise {

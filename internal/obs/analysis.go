@@ -127,6 +127,24 @@ func (s *StageSummary) TaskTimes() (p50, max vtime.Stamp, skew float64) {
 	return p50, max, skew
 }
 
+// BatchSummary is one streaming micro-batch reconstructed from its
+// BatchSubmitted/BatchCompleted event pair.
+type BatchSummary struct {
+	Batch      int         // 1-based batch number
+	Ready      vtime.Stamp // data-ready time (all receiver blocks registered)
+	Start      vtime.Stamp // job submit time
+	End        vtime.Stamp // job completion time
+	SchedDelay vtime.Stamp // ready boundary → start
+	Events     int64       // events ingested for the interval
+	Blocks     int         // receiver blocks backing the batch
+	RateLimit  float64     // backpressure limit in force (events/sec, 0 = unlimited)
+	Err        string
+}
+
+// Proc is the batch's processing time — the figure backpressure holds at
+// or under the batch interval.
+func (b BatchSummary) Proc() vtime.Stamp { return b.End - b.Start }
+
 // JobSummary aggregates one job and its stages in submission order.
 type JobSummary struct {
 	Job    int
@@ -141,8 +159,9 @@ func (j *JobSummary) Duration() vtime.Stamp { return j.End - j.Start }
 
 // Report is the analysis of one replayed event log.
 type Report struct {
-	Jobs   []*JobSummary
-	Events []Event // the raw log, in emission order
+	Jobs    []*JobSummary
+	Batches []*BatchSummary // streaming micro-batches, in batch order
+	Events  []Event         // the raw log, in emission order
 
 	Lost       int // ExecutorLost events
 	Replaced   int // ExecutorReplaced events
@@ -192,6 +211,16 @@ func Analyze(events []Event) *Report {
 	r := &Report{Events: events}
 	jobs := map[int]*JobSummary{}
 	stages := map[int]*StageSummary{}
+	batches := map[int]*BatchSummary{}
+	batchOf := func(id int) *BatchSummary {
+		b, ok := batches[id]
+		if !ok {
+			b = &BatchSummary{Batch: id}
+			batches[id] = b
+			r.Batches = append(r.Batches, b)
+		}
+		return b
+	}
 	jobOf := func(id int) *JobSummary {
 		j, ok := jobs[id]
 		if !ok {
@@ -282,8 +311,21 @@ func Analyze(events []Event) *Report {
 		case EvShuffleServe:
 			r.ServiceServes++
 			r.ServedBytes += int64(e.Bytes)
+		case EvBatchSubmitted:
+			b := batchOf(e.Batch)
+			b.Ready = e.VT
+			b.Events = e.Records
+			b.Blocks = e.Blocks
+			b.RateLimit = e.RateLimit
+		case EvBatchCompleted:
+			b := batchOf(e.Batch)
+			b.Start = e.Start
+			b.End = e.VT
+			b.SchedDelay = e.SchedDelay
+			b.Err = e.Err
 		}
 	}
+	sort.Slice(r.Batches, func(a, b int) bool { return r.Batches[a].Batch < r.Batches[b].Batch })
 	sort.Slice(r.Jobs, func(a, b int) bool { return r.Jobs[a].Job < r.Jobs[b].Job })
 	for _, j := range r.Jobs {
 		sort.Slice(j.Stages, func(a, b int) bool { return j.Stages[a].Submitted < j.Stages[b].Submitted })
@@ -340,6 +382,33 @@ func (r *Report) TimelineTable() *metrics.Table {
 			"shuffle service: pushed %d B in %d blocks, merged %d B in %d runs, served %d B in %d fetches",
 			r.PushedBytes, r.ServicePushes, r.MergedBytes, r.ServiceMerges,
 			r.ServedBytes, r.ServiceServes))
+	}
+	return t
+}
+
+// BatchTable renders the streaming micro-batch timeline: per batch, its
+// data-ready / start / end stamps, the scheduling delay and processing
+// time, the ingest volume, and the backpressure limit in force. Empty when
+// the log records no streaming run.
+func (r *Report) BatchTable() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Micro-batch timeline (virtual time)",
+		Columns: []string{"Batch", "Ready", "Start", "End", "SchedDelay", "Proc", "Events", "Blocks", "RateLimit", "Err"},
+	}
+	var events int64
+	for _, b := range r.Batches {
+		limit := "-"
+		if b.RateLimit > 0 {
+			limit = fmt.Sprintf("%.0f/s", b.RateLimit)
+		}
+		t.AddRow(b.Batch, b.Ready, b.Start, b.End, b.SchedDelay, b.Proc(),
+			b.Events, b.Blocks, limit, b.Err)
+		events += b.Events
+	}
+	if len(r.Batches) > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%d batches, %d events ingested (must match the streaming.events.ingested counter delta)",
+			len(r.Batches), events))
 	}
 	return t
 }

@@ -40,6 +40,8 @@ const (
 	EvStageAdapted     = "StageAdapted"
 	EvTaskSpeculated   = "TaskSpeculated"
 	EvBlockCorrupt     = "BlockCorrupt"
+	EvBatchSubmitted   = "BatchSubmitted"
+	EvBatchCompleted   = "BatchCompleted"
 )
 
 // Event is one structured lifecycle record. The zero values of the ID
@@ -103,6 +105,18 @@ type Event struct {
 	// attempt whose result was committed when a speculative race ran).
 	Speculative bool `json:"speculative,omitempty"`
 	Won         bool `json:"won,omitempty"`
+
+	// Streaming micro-batches. Batch numbers are 1-based so omitempty
+	// keeps non-streaming events clean. BatchSubmitted stamps VT with the
+	// batch's data-ready time (all receiver blocks registered) and carries
+	// the interval's ingest as Records/Blocks plus the rate limit in
+	// force; BatchCompleted stamps VT with job completion, Start with the
+	// submit time, and SchedDelay with how long past the interval boundary
+	// the batch waited to start.
+	Batch      int         `json:"batch,omitempty"`
+	Blocks     int         `json:"blocks,omitempty"`
+	RateLimit  float64     `json:"rateLimit,omitempty"` // events/sec; 0 = unlimited
+	SchedDelay vtime.Stamp `json:"schedDelay,omitempty"`
 }
 
 // Listener receives every event posted to a Bus. Listeners are invoked

@@ -304,6 +304,9 @@ type Context struct {
 // executors, registering the scheduler and tracker endpoints and attaching
 // every executor.
 func NewContext(cfg Config, driver *rpc.Env, executors []*Executor) (*Context, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.DefaultParallelism < 1 {
 		cfg.DefaultParallelism = 1
 	}
@@ -512,6 +515,11 @@ func (c *Context) ResetStages() {
 
 // DefaultParallelism returns the configured default partition count.
 func (c *Context) DefaultParallelism() int { return c.cfg.DefaultParallelism }
+
+// CPU returns the context's compute-cost model. Layers that model work
+// outside tasks (streaming receivers charging ingest cost, say) use it so
+// their virtual-time costs stay consistent with task compute.
+func (c *Context) CPU() CPUModel { return c.cfg.CPU }
 
 // TotalSlots returns the cluster's total task slot count.
 func (c *Context) TotalSlots() int {

@@ -212,6 +212,12 @@ type rddBase interface {
 	// mergePartials reassembles a partition from its sub-task results,
 	// given in map-range order. Charged against tc.
 	mergePartials(tc *TaskContext, parts []any) any
+	// preferredLoc reports the executor a partition is pinned to ("" =
+	// no static preference). Streaming receiver blocks and checkpointed
+	// state set it so tasks run where the data already lives; the
+	// scheduler still falls back to any executor when the pinned one is
+	// excluded or lost.
+	preferredLoc(part int) string
 }
 
 // RDD is a resilient distributed dataset of T: a lazy, partitioned
@@ -227,6 +233,9 @@ type RDD[T any] struct {
 	// of map-range sub-tasks (in map order) — the hook that makes the RDD
 	// splittable by the adaptive planner.
 	partialMerge func(tc *TaskContext, parts [][]T) []T
+	// prefFn, when set, maps a partition to the executor it is pinned to
+	// (see rddBase.preferredLoc).
+	prefFn func(part int) string
 }
 
 func newRDD[T any](ctx *Context, nParts int, deps []Dependency, compute func(int, *TaskContext) ([]T, error)) *RDD[T] {
@@ -263,6 +272,27 @@ func (r *RDD[T]) records(data any) int {
 }
 
 func (r *RDD[T]) canSplit() bool { return r.partialMerge != nil }
+
+func (r *RDD[T]) preferredLoc(part int) string {
+	if r.prefFn == nil {
+		return ""
+	}
+	return r.prefFn(part)
+}
+
+// WithPreferred pins each partition to an executor id: task placement
+// prefers locs[part] (falling back to round-robin when that executor is
+// excluded or unhealthy). Partitions beyond len(locs) keep no preference.
+// It returns the receiver for chaining.
+func (r *RDD[T]) WithPreferred(locs []string) *RDD[T] {
+	r.prefFn = func(part int) string {
+		if part < 0 || part >= len(locs) {
+			return ""
+		}
+		return locs[part]
+	}
+	return r
+}
 
 func (r *RDD[T]) mergePartials(tc *TaskContext, parts []any) any {
 	typed := make([][]T, len(parts))

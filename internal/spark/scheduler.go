@@ -39,10 +39,14 @@ func findShuffleDeps(final rddBase) []*ShuffleDep {
 	return order
 }
 
-// preferredExecutor walks narrow dependencies looking for a cached ancestor
+// preferredExecutor walks narrow dependencies looking for a static
+// partition pin (receiver blocks, checkpointed state) or a cached ancestor
 // partition and returns the executor holding it ("" if none).
 func (c *Context) preferredExecutor(r rddBase, part int) string {
 	for {
+		if loc := r.preferredLoc(part); loc != "" {
+			return loc
+		}
 		if r.isCached() {
 			c.mu.Lock()
 			exec, ok := c.cacheLocs[cacheKey{rddID: r.rddID(), part: part}]

@@ -1,0 +1,89 @@
+package spark
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestConfigValidateRejects covers the nonsensical combinations Validate
+// must reject, and that each rejection is the typed *ConfigError naming
+// the offending field.
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string
+	}{
+		{"negative retry wait", func(c *Config) { c.ShuffleRetryWait = -time.Millisecond }, "ShuffleRetryWait"},
+		{"negative fetch deadline", func(c *Config) { c.ShuffleFetchDeadline = -1 }, "ShuffleFetchDeadline"},
+		{"negative breaker cooldown", func(c *Config) { c.ShuffleBreakerCooldown = -time.Microsecond }, "ShuffleBreakerCooldown"},
+		{"negative heartbeat", func(c *Config) { c.HeartbeatInterval = -time.Millisecond }, "HeartbeatInterval"},
+		{"negative executor timeout", func(c *Config) { c.ExecutorTimeout = -time.Second }, "ExecutorTimeout"},
+		{"negative fetch retries", func(c *Config) { c.ShuffleMaxRetries = -1 }, "ShuffleMaxRetries"},
+		{"adaptive without target", func(c *Config) {
+			c.AdaptiveExecution = true
+			c.AdaptiveTargetBytes = 0
+		}, "AdaptiveTargetBytes"},
+		{"adaptive with negative target", func(c *Config) {
+			c.AdaptiveExecution = true
+			c.AdaptiveTargetBytes = -4096
+		}, "AdaptiveTargetBytes"},
+		{"speculation multiplier below one", func(c *Config) {
+			c.Speculation = true
+			c.SpeculationMultiplier = 0.5
+		}, "SpeculationMultiplier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate returned %T, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+}
+
+// TestConfigValidateAccepts checks the documented sentinel conventions
+// stay legal: zero-means-default, negative opt-outs for jitter and the
+// breaker knobs, and a zero speculation multiplier with speculation on.
+func TestConfigValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"defaults", func(c *Config) {}},
+		{"zero config defaults later", func(c *Config) { *c = Config{} }},
+		{"negative jitter opt-out", func(c *Config) { c.ShuffleRetryJitter = -1 }},
+		{"negative breaker opt-out", func(c *Config) {
+			c.ShuffleBreakerThreshold = -1
+			c.ShuffleRetryBudget = -1
+		}},
+		{"speculation with default multiplier", func(c *Config) {
+			c.Speculation = true
+			c.SpeculationMultiplier = 0
+		}},
+		{"adaptive with explicit target", func(c *Config) {
+			c.AdaptiveExecution = true
+			c.AdaptiveTargetBytes = 1 << 20
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate rejected %s: %v", tc.name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package streaming
+
+import (
+	"time"
+
+	"mpi4spark/internal/vtime"
+)
+
+// pidEstimator is Spark's `pid` RateEstimator
+// (PIDRateEstimator.scala) on virtual time: after each completed batch
+// it proposes a new ingest bound (events/sec) from the measured
+// processing rate, using the scheduling delay as the integral term —
+// delay means a backlog of exactly delay*processingRate events has to be
+// drained, so the rate must dip below the processing rate until it is.
+type pidEstimator struct {
+	batchIntervalSec float64
+	kp, ki, kd       float64
+	minRate          float64
+
+	first       bool
+	latestTime  vtime.Stamp
+	latestRate  float64
+	latestError float64
+}
+
+func newPIDEstimator(batchInterval time.Duration, kp, ki, kd, minRate float64) *pidEstimator {
+	return &pidEstimator{
+		batchIntervalSec: batchInterval.Seconds(),
+		kp:               kp,
+		ki:               ki,
+		kd:               kd,
+		minRate:          minRate,
+		first:            true,
+		latestTime:       -1,
+	}
+}
+
+// update feeds one completed batch (completion stamp, events processed,
+// processing time, scheduling delay) and returns the new rate bound. ok
+// is false when the measurement is unusable (empty batch, zero
+// processing time, out-of-order completion) and the previous bound
+// should stay in force.
+func (p *pidEstimator) update(completedAt vtime.Stamp, events int64, proc, schedDelay vtime.Stamp) (float64, bool) {
+	if completedAt <= p.latestTime || events <= 0 || proc <= 0 {
+		return 0, false
+	}
+	procSec := time.Duration(proc).Seconds()
+	procRate := float64(events) / procSec
+	if schedDelay < 0 {
+		schedDelay = 0
+	}
+
+	if p.first {
+		// Seed the controller from the first measurement: the sustainable
+		// rate is the processing rate, less the drain needed for whatever
+		// delay the first batch already accumulated.
+		histErr := time.Duration(schedDelay).Seconds() * procRate / p.batchIntervalSec
+		rate := procRate - p.ki*histErr
+		if rate < p.minRate {
+			rate = p.minRate
+		}
+		p.first = false
+		p.latestTime = completedAt
+		p.latestRate = rate
+		p.latestError = 0
+		return rate, true
+	}
+
+	delaySec := time.Duration(completedAt - p.latestTime).Seconds()
+	err := p.latestRate - procRate
+	histErr := time.Duration(schedDelay).Seconds() * procRate / p.batchIntervalSec
+	dErr := (err - p.latestError) / delaySec
+
+	rate := p.latestRate - p.kp*err - p.ki*histErr - p.kd*dErr
+	if rate < p.minRate {
+		rate = p.minRate
+	}
+	p.latestTime = completedAt
+	p.latestRate = rate
+	p.latestError = err
+	return rate, true
+}

@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -253,5 +254,82 @@ func TestResourceNoOverlapProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Concurrent recurring timers — the streaming job generator and the
+// receivers' block cutters are exactly this shape: several goroutines
+// each occupying the same resource on a fixed virtual-time period, with
+// demand exceeding capacity so ticks queue. Every grant must start at or
+// after its ready time, keep its full duration, and never overlap
+// another grant.
+func TestResourceConcurrentRecurringTimers(t *testing.T) {
+	r := NewResource()
+	const timers, ticks = 4, 64
+	const period = 100 * time.Nanosecond
+	const dur = 30 * time.Nanosecond // 4 timers x 30ns per 100ns: oversubscribed
+	type iv struct{ s, e Stamp }
+	grants := make([][]iv, timers)
+	var wg sync.WaitGroup
+	for i := 0; i < timers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < ticks; k++ {
+				ready := Stamp(k) * Stamp(Duration(period))
+				s, e := r.Occupy(ready, dur)
+				if s < ready {
+					t.Errorf("timer %d tick %d: start %v before ready %v", id, k, s, ready)
+				}
+				if e-s != Stamp(Duration(dur)) {
+					t.Errorf("timer %d tick %d: grant [%v,%v) not %v wide", id, k, s, e, dur)
+				}
+				grants[id] = append(grants[id], iv{s, e})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var all []iv
+	for _, g := range grants {
+		all = append(all, g...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	var busy Stamp
+	for i := 1; i < len(all); i++ {
+		if all[i].s < all[i-1].e {
+			t.Fatalf("grants overlap: [%v,%v) and [%v,%v)", all[i-1].s, all[i-1].e, all[i].s, all[i].e)
+		}
+	}
+	for _, g := range all {
+		busy += g.e - g.s
+	}
+	if want := Stamp(timers * ticks * int(Duration(dur))); busy != want {
+		t.Fatalf("total occupancy %v, want %v", busy, want)
+	}
+}
+
+// Regression: back-to-back recurring intervals must serialize through the
+// resource — consecutive grants may touch (end == next start) but can
+// never be issued at identical stamps, which would collapse two batch
+// submissions into one instant.
+func TestResourceBackToBackDistinctStamps(t *testing.T) {
+	r := NewResource()
+	const period = 50 * time.Nanosecond
+	const dur = 80 * time.Nanosecond // longer than the period: always behind
+	prevStart, prevEnd := Stamp(-1), Stamp(-1)
+	for k := 0; k < 200; k++ {
+		ready := Stamp(k) * Stamp(Duration(period))
+		s, e := r.Occupy(ready, dur)
+		if s == prevStart || e == prevEnd {
+			t.Fatalf("tick %d: grant [%v,%v) repeats a stamp of [%v,%v)", k, s, e, prevStart, prevEnd)
+		}
+		if s < prevEnd {
+			t.Fatalf("tick %d: start %v inside previous grant ending %v", k, s, prevEnd)
+		}
+		if e <= s {
+			t.Fatalf("tick %d: empty grant [%v,%v)", k, s, e)
+		}
+		prevStart, prevEnd = s, e
 	}
 }
